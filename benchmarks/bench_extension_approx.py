@@ -1,0 +1,68 @@
+"""Extension benchmark: exact vs sampling-based approximate motif counting.
+
+Not a paper table — the paper's related work contrasts Kaleido with ASAP's
+accuracy/latency trade-off (Section 7); this quantifies that trade-off
+inside our engine: relative error and speedup of the parent-sampling
+estimator versus the exhaustive count, across sampling budgets.
+"""
+
+import time
+
+import pytest
+
+from repro import KaleidoEngine, MotifCounting
+from repro.apps import approximate_motifs
+from repro.bench import PROFILE, bench_graph, format_table
+
+from conftest import run_once
+
+SAMPLE_BUDGETS = [100, 400, 1600, 6400]
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_approximate_motifs(benchmark, emit):
+    rows = []
+
+    def run():
+        graph = bench_graph("youtube")
+        started = time.perf_counter()
+        exact = KaleidoEngine(graph).run(MotifCounting(3)).value
+        exact_seconds = time.perf_counter() - started
+        total_exact = sum(exact.values())
+        for samples in SAMPLE_BUDGETS:
+            started = time.perf_counter()
+            approx = approximate_motifs(graph, 3, samples=samples, seed=7)
+            seconds = time.perf_counter() - started
+            total_est = sum(e.estimate for e in approx.values())
+            err = abs(total_est - total_exact) / total_exact
+            per_class_err = max(
+                abs(approx[h].estimate - exact.get(h, 0)) / max(1, exact.get(h, 0))
+                for h in approx
+            )
+            rows.append(
+                [
+                    str(samples),
+                    f"{seconds:.3f}",
+                    f"{exact_seconds / max(seconds, 1e-9):.1f}x",
+                    f"{err * 100:.2f}%",
+                    f"{per_class_err * 100:.2f}%",
+                ]
+            )
+        return rows, exact_seconds
+
+    result_rows, exact_seconds = run_once(benchmark, run)
+    table = format_table(
+        ["samples", "time (s)", "speedup vs exact", "total err", "worst class err"],
+        result_rows,
+        title=(
+            f"Extension — approximate 3-motif counting on youtube "
+            f"(exact: {exact_seconds:.3f}s, profile: {PROFILE})"
+        ),
+    )
+    emit(table, name="extension_approx")
+
+    # Error shrinks as the budget grows (compare the ends of the ladder).
+    first_err = float(result_rows[0][3].rstrip("%"))
+    last_err = float(result_rows[-1][3].rstrip("%"))
+    assert last_err <= first_err + 1e-9
+    assert last_err < 10.0

@@ -1,0 +1,62 @@
+"""Figure 10: memory-reduction factors of Kaleido vs the baselines.
+
+For each application over MiCo / Patent / Youtube, reports
+``baseline_memory / kaleido_memory`` — the paper plots these as bar
+charts (GeoMean 7.2x vs Arabesque and 9.9x vs RStream overall).
+"""
+
+import pytest
+
+from repro.bench import (
+    PROFILE,
+    bench_graph,
+    format_table,
+    geomean,
+    run_arabesque,
+    run_kaleido,
+    run_rstream,
+)
+
+from conftest import run_once
+
+#: A lighter grid than Table 2 — memory factors need one support level.
+GRID = [("fsm", 5), ("motif", 3), ("clique", 4), ("tc", None)]
+DATASETS = ["mico", "patent", "youtube"]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_memory_reduction(benchmark, emit):
+    cells = {}
+
+    def run_grid():
+        for dataset in DATASETS:
+            graph = bench_graph(dataset)
+            for kind, option in GRID:
+                ka = run_kaleido(graph, kind, option, dataset)
+                ar = run_arabesque(graph, kind, option, dataset)
+                rs = run_rstream(graph, kind, option, dataset)
+                cells[(dataset, ka.app)] = (ka, ar, rs)
+        return cells
+
+    run_once(benchmark, run_grid)
+
+    rows, ar_factors, rs_factors = [], [], []
+    for (dataset, app), (ka, ar, rs) in cells.items():
+        fa = ar.memory_bytes / max(1, ka.memory_bytes)
+        fr = rs.memory_bytes / max(1, ka.memory_bytes)
+        ar_factors.append(fa)
+        rs_factors.append(fr)
+        rows.append([app, dataset, f"{fa:.1f}x", f"{fr:.1f}x"])
+    rows.append(
+        ["GeoMean", "-", f"{geomean(ar_factors):.1f}x", f"{geomean(rs_factors):.1f}x"]
+    )
+    table = format_table(
+        ["App", "Dataset", "vs Arabesque", "vs RStream"],
+        rows,
+        title=f"Figure 10 — memory reduction factors (profile: {PROFILE})",
+    )
+    emit(table, name="fig10_memory_reduction")
+
+    # Paper shape: overall reduction > 1x against both systems.
+    assert geomean(ar_factors) > 1.0
+    assert geomean(rs_factors) > 1.0

@@ -1,0 +1,78 @@
+"""Figure 13: label-count sensitivity of the two isomorphism checkers.
+
+The Patent topology is mined under its 7-label (category) and 37-label
+(sub-category) assignments, with 3-FSM and 4-FSM across supports, under
+both checkers.  Paper shape: both get slower with more labels, but bliss
+is *more* sensitive to the label count than Kaleido (it needs a larger
+hash space / deeper refinement as label diversity grows).
+"""
+
+import pytest
+
+from repro import FrequentSubgraphMining, KaleidoEngine
+from repro.baselines import BlissLikeHasher
+from repro.bench import format_table, geomean
+from repro.core import PatternHasher
+from repro.graph import datasets
+
+from conftest import run_once
+
+PROFILE13 = "tiny"
+SUPPORTS_3FSM = [3, 5, 8, 12]
+SUPPORTS_4FSM = [4, 6]
+
+
+def _run(graph, num_edges, support, hasher):
+    app = FrequentSubgraphMining(
+        num_edges=num_edges, support=support, hash_every_embedding=True
+    )
+    with KaleidoEngine(graph, hasher=hasher) as engine:
+        result = engine.run(app)
+        return result, engine.hasher.nbytes
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_label_sensitivity(benchmark, emit):
+    rows = []
+    sensitivity: dict[str, dict[int, float]] = {"kaleido": {}, "bliss": {}}
+
+    def run_grid():
+        base = datasets.load("patent", PROFILE13)
+        graphs = {7: datasets.patent_with_labels(7, PROFILE13), 37: base}
+        for labels, graph in graphs.items():
+            for num_edges, supports in ((2, SUPPORTS_3FSM), (3, SUPPORTS_4FSM)):
+                for support in supports:
+                    ka, ka_mem = _run(graph, num_edges, support, PatternHasher(cache=False))
+                    bl, bl_mem = _run(graph, num_edges, support, BlissLikeHasher(cache=False))
+                    assert sorted(ka.value.values()) == sorted(bl.value.values())
+                    rows.append(
+                        [
+                            f"{num_edges + 1}-FSM",
+                            f"PA-{labels}",
+                            str(support),
+                            f"{ka.wall_seconds:.3f}",
+                            f"{bl.wall_seconds:.3f}",
+                            f"{bl.wall_seconds / max(ka.wall_seconds, 1e-9):.2f}x",
+                            str(len(ka.value)),
+                        ]
+                    )
+                    sensitivity["kaleido"].setdefault(labels, 0.0)
+                    sensitivity["bliss"].setdefault(labels, 0.0)
+                    sensitivity["kaleido"][labels] += ka.wall_seconds
+                    sensitivity["bliss"][labels] += bl.wall_seconds
+        return rows
+
+    run_once(benchmark, run_grid)
+    table = format_table(
+        ["App", "Labeling", "Support", "Kaleido (s)", "bliss-like (s)",
+         "speedup", "frequent"],
+        rows,
+        title=f"Figure 13 — label sensitivity, Patent topology (profile: {PROFILE13})",
+    )
+    ka_ratio = sensitivity["kaleido"][37] / max(sensitivity["kaleido"][7], 1e-9)
+    bl_ratio = sensitivity["bliss"][37] / max(sensitivity["bliss"][7], 1e-9)
+    summary = (
+        f"\nTotal-time growth 7 -> 37 labels: Kaleido {ka_ratio:.2f}x, "
+        f"bliss-like {bl_ratio:.2f}x (paper: bliss more label-sensitive)"
+    )
+    emit(table + summary, name="fig13_label_sensitivity")

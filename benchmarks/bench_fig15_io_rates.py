@@ -1,0 +1,89 @@
+"""Figure 15: read/write I/O rates under shrinking RAM caps.
+
+The paper caps Kaleido's page cache with cgroups at 12/16/20/>=24 GB and
+plots read/write MB/s over the run of 4-FSM(Patent, 100k).  Here the
+MemoryBudget plays the cgroup role: the budget ladder is scaled to the
+workload's own in-memory peak, and the spill store's event log provides
+the rate series.  Paper shape: generous budgets do (almost) no I/O;
+tighter budgets read and write progressively more.
+"""
+
+import tempfile
+
+import pytest
+
+from repro import FrequentSubgraphMining, KaleidoEngine
+from repro.bench import PROFILE, bench_graph, format_series, format_table
+
+from conftest import run_once
+
+#: Fractions of the unconstrained peak, standing in for 12/16/20/24 GB.
+BUDGET_LADDER = [0.35, 0.6, 1.0, 4.0]
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_io_rates(benchmark, emit):
+    outputs = []
+    totals = []
+
+    def run_ladder():
+        graph = bench_graph("patent")
+        factory = lambda: FrequentSubgraphMining(3, 30)  # noqa: E731
+        with KaleidoEngine(graph, storage_mode="memory") as engine:
+            baseline = engine.run(factory())
+        peak = baseline.peak_memory_bytes
+        for fraction in BUDGET_LADDER:
+            budget = max(1, int(peak * fraction))
+            with tempfile.TemporaryDirectory(prefix="fig15-") as tmp:
+                with KaleidoEngine(
+                    graph,
+                    storage_mode="auto",
+                    memory_limit_bytes=budget,
+                    spill_dir=tmp,
+                ) as engine:
+                    result = engine.run(factory())
+                    io = engine.io_stats
+                    assert sorted(result.value.values()) == sorted(
+                        baseline.value.values()
+                    )
+                    read_mb = result.io_bytes_read / 1e6
+                    write_mb = result.io_bytes_written / 1e6
+                    totals.append((fraction, read_mb, write_mb))
+                    block = [
+                        f"--- budget = {fraction:.2f} x in-memory peak "
+                        f"({budget / 1e6:.2f} MB) ---",
+                        f"read {read_mb:.2f} MB, write {write_mb:.2f} MB, "
+                        f"runtime {result.wall_seconds:.3f}s",
+                    ]
+                    if io is not None and io.events:
+                        block.append(
+                            format_series(
+                                "write rate", io.rate_series("write", bins=10),
+                                "t (s)", "MB/s",
+                            )
+                        )
+                        block.append(
+                            format_series(
+                                "read rate", io.rate_series("read", bins=10),
+                                "t (s)", "MB/s",
+                            )
+                        )
+                    outputs.append("\n".join(block))
+        return totals
+
+    run_once(benchmark, run_ladder)
+    table = format_table(
+        ["budget fraction", "read MB", "write MB"],
+        [[f"{f:.2f}", f"{r:.2f}", f"{w:.2f}"] for f, r, w in totals],
+        title=f"Figure 15 — I/O vs RAM cap, 4-FSM Patent (profile: {PROFILE})",
+    )
+    emit(table + "\n\n" + "\n\n".join(outputs), name="fig15_io_rates")
+
+    # Paper shape: the generous budget does no I/O; the tightest does the
+    # most writing.
+    tight = totals[0]
+    loose = totals[-1]
+    assert loose[2] == 0.0, loose
+    assert tight[2] > 0.0, tight
+    writes = [w for _, _, w in totals]
+    assert writes[0] == max(writes)

@@ -1,0 +1,100 @@
+"""Table 2: running time of Kaleido vs Arabesque-like vs RStream-like.
+
+Reproduces the paper's full application grid — 3-FSM over four supports,
+3-/4-Motif, 3-/4-/5-Clique, TC — on all four datasets and all three
+systems.  Result digests are cross-checked so every timing compares equal
+answers.  The paper's '/'-cells (RStream intermediate data exceeding the
+SSD) reappear here through a scaled simulated disk cap.
+
+The paper's headline: Kaleido beats Arabesque by GeoMean 12.3x and
+RStream by 40.0x (CiteSeer excluded from the GeoMean, as in the paper).
+We assert the ordering (Kaleido wins every comparable non-CiteSeer cell
+on aggregate) and report our factors in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import (
+    PROFILE,
+    TABLE2_GRID,
+    bench_graph,
+    comparison_table,
+    geomean_block,
+    run_arabesque,
+    run_kaleido,
+    run_rstream,
+)
+from repro.bench.record import RunRecord, geomean
+from repro.errors import StorageError
+
+from conftest import run_once
+
+DATASETS = ["citeseer", "mico", "patent", "youtube"]
+
+#: Scaled stand-in for the paper's 480 GB SSD: enough for every workload
+#: except the all-join 4-Motif blowup, as in the paper.
+RSTREAM_DISK_CAP = 64 * 2**20
+
+#: 4-Motif on full-scale CiteSeer is harmless; the cap only matters on the
+#: denser stand-ins.  5-Clique on RStream mirrors the paper's '-' on MiCo
+#: by just running (our scaled MiCo fits).
+
+
+def _grid():
+    for dataset in DATASETS:
+        for kind, option in TABLE2_GRID:
+            yield dataset, kind, option
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_runtime_grid(benchmark, emit):
+    records: list[RunRecord] = []
+    failures: list[str] = []
+
+    def run_grid():
+        for dataset, kind, option in _grid():
+            graph = bench_graph(dataset)
+            ka = run_kaleido(graph, kind, option, dataset)
+            records.append(ka)
+            ar = run_arabesque(graph, kind, option, dataset)
+            records.append(ar)
+            if ka.value_digest != ar.value_digest:
+                failures.append(f"digest mismatch KA vs AR: {ka.key()}")
+            try:
+                rs = run_rstream(
+                    graph, kind, option, dataset,
+                    max_intermediate_bytes=RSTREAM_DISK_CAP,
+                )
+                records.append(rs)
+                if ka.value_digest != rs.value_digest:
+                    failures.append(f"digest mismatch KA vs RS: {ka.key()}")
+            except StorageError:
+                # The paper's '/' cell: intermediate data exceeded "disk".
+                pass
+        return records
+
+    run_once(benchmark, run_grid)
+    table = comparison_table(records, f"Table 2 — running time (profile: {PROFILE})")
+    non_citeseer = [r for r in records if r.dataset != "citeseer"]
+    summary = geomean_block(non_citeseer)
+    emit(table + "\n\n" + summary + "\n(CiteSeer excluded, as in the paper)",
+         name="table2_runtime")
+
+    assert not failures, failures
+    # Shape assertions: Kaleido wins on aggregate against both baselines
+    # outside CiteSeer.
+    by_key = {}
+    for record in non_citeseer:
+        by_key.setdefault(record.key(), {})[record.system] = record
+    ar_ratios = [
+        g["arabesque"].seconds / g["kaleido"].seconds
+        for g in by_key.values()
+        if "arabesque" in g and "kaleido" in g
+    ]
+    rs_ratios = [
+        g["rstream"].seconds / g["kaleido"].seconds
+        for g in by_key.values()
+        if "rstream" in g and "kaleido" in g
+    ]
+    assert geomean(ar_ratios) > 1.0
+    assert geomean(rs_ratios) > 1.0

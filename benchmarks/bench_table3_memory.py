@@ -1,0 +1,71 @@
+"""Table 3: memory consumption of the three systems over CiteSeer.
+
+The paper reports per-application peak memory (MB) on CiteSeer for
+Kaleido, Arabesque and RStream; Arabesque's ~1.9 GB constant JVM/Giraph
+heap is a known deviation we do not fabricate (see EXPERIMENTS.md), so
+the comparison here is of the accounted data-structure footprints.
+"""
+
+import pytest
+
+from repro.bench import (
+    PROFILE,
+    TABLE2_GRID,
+    bench_graph,
+    format_table,
+    run_arabesque,
+    run_kaleido,
+    run_rstream,
+)
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_memory_citeseer(benchmark, emit):
+    graph = bench_graph("citeseer")
+    grid = [(k, o) for k, o in TABLE2_GRID if not (k == "motif" and o == 4)]
+    # 4-Motif on full-scale CiteSeer is included separately for Kaleido
+    # only; the baselines take minutes there for no extra signal.
+    records = {}
+
+    def run_grid():
+        for kind, option in grid:
+            ka = run_kaleido(graph, kind, option, "citeseer")
+            ar = run_arabesque(graph, kind, option, "citeseer")
+            rs = run_rstream(graph, kind, option, "citeseer")
+            records[(kind, str(option))] = (ka, ar, rs)
+        return records
+
+    run_once(benchmark, run_grid)
+
+    rows = []
+    for (kind, option), (ka, ar, rs) in records.items():
+        rows.append(
+            [
+                ka.app,
+                option,
+                f"{ka.memory_mb:.2f}",
+                f"{ar.memory_mb:.2f}",
+                f"{rs.memory_mb:.2f}",
+            ]
+        )
+    table = format_table(
+        ["App", "Option", "Kaleido MB", "Arabesque MB", "RStream MB"],
+        rows,
+        title=f"Table 3 — memory consumption over CiteSeer (profile: {PROFILE})",
+    )
+    emit(table, name="table3_memory")
+
+    # Shape: Kaleido's footprint is the smallest in the wide majority of
+    # cells (the paper's Table 3 shows the same with two FSM exceptions
+    # where RStream's partitioned tables are small).
+    wins = sum(
+        1
+        for (ka, ar, rs) in records.values()
+        if ka.memory_bytes <= ar.memory_bytes and ka.memory_bytes <= rs.memory_bytes
+    )
+    assert wins >= len(records) * 0.6
+    # And always below Arabesque's embedding-object store.
+    for ka, ar, _ in records.values():
+        assert ka.memory_bytes <= ar.memory_bytes

@@ -1,0 +1,99 @@
+"""Frequent subgraph mining with edge labels (Definition 1's L(u, v)).
+
+Scenario: a payment network where vertices are account types (person,
+merchant, bank) and edges carry a transaction type (card, wire, cash).
+Edge-labeled FSM finds the frequent *typed* interaction patterns — e.g.
+"person -card-> merchant -wire-> bank" — which plain vertex-labeled FSM
+cannot distinguish from other transaction mixes.
+
+Usage::
+
+    python examples/edge_labeled_fsm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FrequentSubgraphMining, KaleidoEngine
+from repro.graph import GraphBuilder
+
+PERSON, MERCHANT, BANK = 0, 1, 2
+CARD, WIRE, CASH = 0, 1, 2
+VERTEX_NAMES = {PERSON: "person", MERCHANT: "merchant", BANK: "bank"}
+EDGE_NAMES = {CARD: "card", WIRE: "wire", CASH: "cash"}
+SEED = 13
+
+
+def build_payment_network():
+    rng = np.random.default_rng(SEED)
+    num_people, num_merchants, num_banks = 400, 60, 8
+    builder = GraphBuilder(num_people + num_merchants + num_banks)
+    labels = (
+        [PERSON] * num_people + [MERCHANT] * num_merchants + [BANK] * num_banks
+    )
+    builder.set_labels(labels)
+    edges: dict[tuple[int, int], int] = {}
+    # People pay merchants, mostly by card, sometimes cash.
+    for p in range(num_people):
+        for _ in range(int(rng.integers(1, 4))):
+            m = num_people + int(rng.integers(num_merchants))
+            edges[(p, m)] = CARD if rng.random() < 0.8 else CASH
+    # Merchants settle with banks by wire.
+    for m in range(num_people, num_people + num_merchants):
+        b = num_people + num_merchants + int(rng.integers(num_banks))
+        edges[(m, b)] = WIRE
+    # A few interbank wires.
+    for _ in range(12):
+        a = num_people + num_merchants + int(rng.integers(num_banks))
+        b = num_people + num_merchants + int(rng.integers(num_banks))
+        if a != b:
+            edges[(min(a, b), max(a, b))] = WIRE
+    for (u, v) in edges:
+        builder.add_edge(u, v)
+    graph = builder.build(name="payments")
+    eu, ev = graph.edge_arrays()
+    edge_labels = [edges[(min(u, v), max(u, v))] for u, v in zip(eu, ev)]
+    return graph.with_edge_labels(edge_labels, name="payments")
+
+
+def describe(pattern) -> str:
+    parts = []
+    k = pattern.num_vertices
+    for i in range(k):
+        for j in range(i + 1, k):
+            if pattern.has_edge(i, j):
+                parts.append(
+                    f"{VERTEX_NAMES[pattern.labels[i]]} -"
+                    f"{EDGE_NAMES[pattern.edge_label_at(i, j)]}- "
+                    f"{VERTEX_NAMES[pattern.labels[j]]}"
+                )
+    return ", ".join(parts)
+
+
+def main() -> None:
+    graph = build_payment_network()
+    print(f"Payment network: {graph} (edge-labeled: {graph.has_edge_labels})\n")
+
+    result = KaleidoEngine(graph).run(
+        FrequentSubgraphMining(num_edges=2, support=15, exact_mni=True)
+    )
+    print(f"Frequent 2-transaction patterns (support >= 15): {len(result.value)}")
+    for phash, support in sorted(result.value.items(), key=lambda kv: -kv[1]):
+        pattern = result.value.patterns.get(phash)
+        if pattern is not None:
+            print(f"  support={support:<5} {describe(pattern)}")
+
+    # The same mine with edge labels stripped collapses typed patterns.
+    plain = KaleidoEngine(
+        graph.with_edge_labels([0] * graph.num_edges)
+    ).run(FrequentSubgraphMining(num_edges=2, support=15, exact_mni=True))
+    print(
+        f"\nWithout transaction types the mine finds only "
+        f"{len(plain.value)} patterns — the typed structure is invisible."
+    )
+    assert len(result.value) >= len(plain.value)
+
+
+if __name__ == "__main__":
+    main()

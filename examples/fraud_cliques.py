@@ -1,0 +1,77 @@
+"""Clique discovery in a synthetic financial transaction network.
+
+The paper's introduction motivates clique discovery with fraud detection
+in financial networks (Eberle et al.): a ring of accounts that all
+transact with each other is suspicious.  This example plants collusion
+rings inside a realistic sparse transaction graph, then uses Kaleido's
+clique discovery to recover them.
+
+Usage::
+
+    python examples/fraud_cliques.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CliqueDiscovery, KaleidoEngine
+from repro.graph import GraphBuilder
+
+
+RING_SIZE = 5
+NUM_RINGS = 3
+NUM_ACCOUNTS = 800
+BACKGROUND_EDGES = 2400
+SEED = 42
+
+
+def build_transaction_network() -> tuple:
+    """A sparse random transaction graph with planted collusion rings."""
+    rng = np.random.default_rng(SEED)
+    builder = GraphBuilder(NUM_ACCOUNTS)
+    # Background traffic: random account-to-account transfers.
+    seen = set()
+    while len(seen) < BACKGROUND_EDGES:
+        u = int(rng.integers(NUM_ACCOUNTS))
+        v = int(rng.integers(NUM_ACCOUNTS))
+        if u != v and (min(u, v), max(u, v)) not in seen:
+            seen.add((min(u, v), max(u, v)))
+            builder.add_edge(u, v)
+    # Planted rings: every pair inside a ring transacts.
+    rings = []
+    accounts = rng.choice(NUM_ACCOUNTS, size=NUM_RINGS * RING_SIZE, replace=False)
+    for r in range(NUM_RINGS):
+        ring = sorted(int(a) for a in accounts[r * RING_SIZE : (r + 1) * RING_SIZE])
+        rings.append(tuple(ring))
+        for i, u in enumerate(ring):
+            for v in ring[i + 1 :]:
+                builder.add_edge(u, v)
+    return builder.build(name="transactions"), rings
+
+
+def main() -> None:
+    graph, planted = build_transaction_network()
+    print(f"Transaction network: {graph}")
+    print(f"Planted {NUM_RINGS} collusion rings of size {RING_SIZE}\n")
+
+    result = KaleidoEngine(graph).run(
+        CliqueDiscovery(RING_SIZE, materialize=True)
+    )
+    print(f"{RING_SIZE}-cliques found: {result.value.count}")
+    print(f"  runtime {result.wall_seconds:.3f}s, "
+          f"peak memory {result.peak_memory_bytes / 1e6:.2f} MB")
+
+    found = {tuple(sorted(c)) for c in result.value.cliques or []}
+    recovered = sum(1 for ring in planted if ring in found)
+    print(f"  planted rings recovered: {recovered}/{NUM_RINGS}")
+    extras = found - set(planted)
+    if extras:
+        print(f"  additional dense groups worth investigating: {len(extras)}")
+        for clique in sorted(extras)[:5]:
+            print(f"    accounts {clique}")
+    assert recovered == NUM_RINGS, "all planted rings must be recovered"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Frequent subgraph mining over a labeled citation graph.
+
+CiteSeer-style scenario from the paper's Table 1: papers are vertices
+labeled with their area; citations are edges.  k-FSM finds the citation
+patterns (e.g. "AI paper citing two DB papers") that occur with MNI
+support above a threshold, and the support sweep shows the paper's
+Figure-11 behaviour: runtime rises to a peak and then falls as the support
+grows, because Kaleido prunes patterns from the counting candidate set as
+soon as they reach the threshold.
+
+Usage::
+
+    python examples/frequent_citation_patterns.py
+"""
+
+from __future__ import annotations
+
+from repro import FrequentSubgraphMining, KaleidoEngine
+from repro.graph import datasets
+
+AREAS = ["AI", "DB", "IR", "ML", "HCI", "Agents"]
+
+
+def describe(pattern) -> str:
+    labels = " - ".join(AREAS[l % len(AREAS)] for l in pattern.labels)
+    return f"{labels}  ({pattern.num_edges} citations)"
+
+
+def main() -> None:
+    graph = datasets.load("citeseer", "bench")
+    print(f"Citation graph: {graph}\n")
+
+    # Mine 3-FSM (2-edge patterns) at a moderate support.
+    support = 20
+    result = KaleidoEngine(graph).run(
+        FrequentSubgraphMining(num_edges=2, support=support)
+    )
+    print(f"Frequent 2-citation patterns at support >= {support}: "
+          f"{len(result.value)}")
+    top = sorted(result.value.items(), key=lambda kv: -kv[1])[:8]
+    for phash, sup in top:
+        pattern = result.value.patterns.get(phash)
+        if pattern is not None:
+            print(f"  support>={sup:<5} {describe(pattern)}")
+    print()
+
+    # Support sweep: the Figure-11 non-monotone runtime curve.
+    print("Support sweep (3-FSM):")
+    print(f"  {'support':>8} {'patterns':>9} {'runtime (s)':>12} {'peak MB':>9}")
+    for sweep_support in (2, 5, 10, 20, 50, 100, 200):
+        res = KaleidoEngine(graph).run(
+            FrequentSubgraphMining(num_edges=2, support=sweep_support)
+        )
+        print(
+            f"  {sweep_support:>8} {len(res.value):>9} "
+            f"{res.wall_seconds:>12.3f} {res.peak_memory_bytes / 1e6:>9.2f}"
+        )
+    print("\nRuntime peaks at a middle support: low supports freeze pattern")
+    print("counters early (threshold reached fast); very high supports prune")
+    print("almost every edge during Init.")
+
+
+if __name__ == "__main__":
+    main()

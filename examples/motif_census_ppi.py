@@ -1,0 +1,86 @@
+"""Motif frequency distribution of a protein-interaction-style network.
+
+The paper's introduction cites Przulj's work: the frequency distribution
+of small motifs characterises protein-protein interaction (PPI) networks.
+This example builds a synthetic PPI-like network (power-law with elevated
+clustering), counts all 3- and 4-motifs, and prints the census with
+human-readable shape names.
+
+Usage::
+
+    python examples/motif_census_ppi.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KaleidoEngine, MotifCounting
+from repro.core import Pattern, canonical_key
+from repro.graph import GraphBuilder, preferential_attachment
+
+SEED = 7
+
+#: Canonical keys of the named 3- and 4-vertex motifs.
+_SHAPES: dict[tuple, str] = {}
+
+
+def _register(name: str, k: int, edges: list[tuple[int, int]]) -> None:
+    mat = [[0] * k for _ in range(k)]
+    for u, v in edges:
+        mat[u][v] = mat[v][u] = 1
+    _SHAPES[canonical_key(Pattern.from_adjacency([0] * k, mat))] = name
+
+
+_register("3-chain", 3, [(0, 1), (1, 2)])
+_register("triangle", 3, [(0, 1), (1, 2), (0, 2)])
+_register("4-path", 4, [(0, 1), (1, 2), (2, 3)])
+_register("3-star", 4, [(0, 1), (0, 2), (0, 3)])
+_register("4-cycle", 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+_register("tailed-triangle", 4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+_register("diamond", 4, [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+_register("4-clique", 4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+
+
+def shape_name(pattern: Pattern) -> str:
+    return _SHAPES.get(canonical_key(pattern), f"unknown({pattern.num_edges} edges)")
+
+
+def build_ppi_network():
+    """Power-law graph with extra triadic closure (PPI-like clustering)."""
+    base = preferential_attachment(600, 2, seed=SEED)
+    rng = np.random.default_rng(SEED + 1)
+    builder = GraphBuilder(base.num_vertices)
+    builder.add_edges(base.edges())
+    # Triadic closure: close a fraction of open wedges.
+    for v in range(base.num_vertices):
+        nbrs = base.neighbors(v).tolist()
+        for i in range(len(nbrs) - 1):
+            if rng.random() < 0.08:
+                a, b = nbrs[i], nbrs[i + 1]
+                if a != b:
+                    builder.add_edge(a, b)
+    return builder.build(name="ppi")
+
+
+def main() -> None:
+    graph = build_ppi_network()
+    print(f"PPI-like network: {graph}\n")
+    for k in (3, 4):
+        result = KaleidoEngine(graph).run(MotifCounting(k))
+        total = result.value.total
+        print(f"{k}-motif census ({total} embeddings, "
+              f"{result.wall_seconds:.2f}s):")
+        rows = sorted(result.value.items(), key=lambda kv: -kv[1])
+        for phash, count in rows:
+            pattern = result.value.patterns[phash]
+            share = 100.0 * count / total
+            print(f"  {shape_name(pattern):<16} {count:>10}  ({share:5.1f}%)")
+        print()
+    print("Graphlet signature: closed shapes (triangle/diamond/clique) are")
+    print("over-represented versus a random graph — the clustering that")
+    print("motif censuses use to fingerprint PPI networks.")
+
+
+if __name__ == "__main__":
+    main()

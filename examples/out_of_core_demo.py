@@ -1,0 +1,71 @@
+"""Out-of-core mining: hybrid storage, writing queue and sliding window.
+
+Demonstrates the paper's Section-4 machinery end to end: the same 4-motif
+workload runs (a) fully in memory, (b) with the last CSE level forced to
+disk (the Table-4 "hybrid" configuration), and (c) under a tight memory
+budget that makes the engine spill on its own — and all three agree.
+
+Usage::
+
+    python examples/out_of_core_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import KaleidoEngine, MotifCounting
+from repro.graph import datasets
+
+
+def run(graph, label: str, **kwargs):
+    with KaleidoEngine(graph, **kwargs) as engine:
+        result = engine.run(MotifCounting(4))
+        io = engine.io_stats
+        print(f"{label}:")
+        print(f"  runtime          {result.wall_seconds:8.3f} s")
+        print(f"  peak memory      {result.peak_memory_bytes / 1e6:8.2f} MB")
+        print(f"  spilled levels   {result.extra['spilled_levels']:8d}")
+        print(f"  disk written     {result.io_bytes_written / 1e6:8.2f} MB")
+        print(f"  disk read        {result.io_bytes_read / 1e6:8.2f} MB")
+        if io is not None and io.bytes_written:
+            series = io.rate_series("write", bins=5)
+            rates = ", ".join(f"{mb:.1f}" for _, mb in series)
+            print(f"  write rate MB/s  [{rates}]")
+        print()
+        return result
+
+
+def main() -> None:
+    graph = datasets.load("citeseer", "bench")
+    print(f"Input: {graph}\n")
+
+    in_memory = run(graph, "in-memory (baseline)", storage_mode="memory")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        hybrid = run(
+            graph,
+            "hybrid (last level spilled, async writer + prefetch window)",
+            storage_mode="spill-last",
+            spill_dir=tmp,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        budget = int(in_memory.peak_memory_bytes * 0.4)
+        capped = run(
+            graph,
+            f"auto-spill under a {budget / 1e6:.1f} MB budget",
+            storage_mode="auto",
+            memory_limit_bytes=budget,
+            spill_dir=tmp,
+        )
+
+    assert dict(in_memory.value) == dict(hybrid.value) == dict(capped.value)
+    print("All three configurations produced identical motif censuses.")
+    slowdown = hybrid.wall_seconds / in_memory.wall_seconds
+    print(f"Hybrid-storage runtime cost: {slowdown:.2f}x "
+          f"(the paper reports < 1.3x for its Table-4 workloads).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Pattern matching: Figure 1 of the paper, as a runnable program.
+
+Given a template pattern, enumerate its embeddings in a labeled graph —
+the paper's opening example ("graph a, b and c are instances of pattern p
+in the input graph").
+
+Usage::
+
+    python examples/pattern_query.py
+"""
+
+from __future__ import annotations
+
+from repro import KaleidoEngine
+from repro.apps import PatternMatching
+from repro.core import Pattern
+from repro.graph import datasets, from_edge_list
+
+
+def figure1() -> None:
+    """The exact Figure-1 scenario."""
+    graph = from_edge_list(
+        [(1, 2), (1, 5), (2, 5), (2, 3), (3, 4), (3, 5), (4, 5)],
+        labels=[9, 1, 0, 1, 1, 0],  # colors: 2 and 5 share label 0
+        name="figure1",
+    )
+    # Pattern p: a triangle whose three vertices are colored (1, 0, 0) —
+    # the template that embeddings a=(1,2,5) and b=(2,3,5)... realise.
+    pattern = Pattern.from_vertex_embedding(graph, [1, 2, 5])
+    result = KaleidoEngine(graph).run(PatternMatching(pattern, materialize=True))
+    print("Figure 1 — pattern p embeddings:")
+    for match in result.value.matches or []:
+        print(f"  {match}")
+    print()
+
+
+def labeled_query() -> None:
+    """A label-constrained query over a bigger graph."""
+    graph = datasets.load("citeseer", "bench")
+    # Query: a label-0 paper cited by two label-1 papers that also cite
+    # each other (a colored triangle).
+    pattern = Pattern.from_adjacency(
+        [0, 1, 1], [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+    )
+    result = KaleidoEngine(graph).run(PatternMatching(pattern))
+    print(f"Colored triangles (0,1,1) in {graph.name}: {result.value.count}")
+    print(f"  {result.wall_seconds:.3f}s, "
+          f"levels explored: {result.level_sizes}")
+    # Contrast with the unlabeled triangle count.
+    plain = Pattern.from_adjacency([0, 0, 0], [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+    unlabeled = KaleidoEngine(graph.relabel([0] * graph.num_vertices)).run(
+        PatternMatching(plain)
+    )
+    print(f"All triangles ignoring labels: {unlabeled.value.count}")
+
+
+if __name__ == "__main__":
+    figure1()
+    labeled_query()

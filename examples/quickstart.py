@@ -1,0 +1,64 @@
+"""Quickstart: run all four mining applications on a small dataset.
+
+Usage::
+
+    python examples/quickstart.py [dataset] [profile]
+
+Datasets: citeseer (default), mico, patent, youtube.
+Profiles: tiny (default here), bench, large.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CliqueDiscovery,
+    FrequentSubgraphMining,
+    KaleidoEngine,
+    MotifCounting,
+    TriangleCounting,
+)
+from repro.graph import datasets
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "citeseer"
+    profile = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    graph = datasets.load(name, profile)
+    print(f"Loaded {graph}\n")
+
+    # Triangle counting --------------------------------------------------
+    result = KaleidoEngine(graph).run(TriangleCounting())
+    print(f"Triangles: {result.value}")
+    print(f"  {result.summary()}\n")
+
+    # Motif counting -----------------------------------------------------
+    result = KaleidoEngine(graph).run(MotifCounting(3))
+    print("3-motif census (pattern hash -> count):")
+    for phash, count in sorted(result.value.items(), key=lambda kv: -kv[1]):
+        pattern = result.value.patterns[phash]
+        shape = "triangle" if pattern.num_edges == 3 else "3-chain"
+        print(f"  {shape:<9} {count}")
+    print(f"  {result.summary()}\n")
+
+    # Clique discovery ---------------------------------------------------
+    result = KaleidoEngine(graph).run(CliqueDiscovery(4))
+    print(f"4-cliques: {result.value.count}")
+    print(f"  {result.summary()}\n")
+
+    # Frequent subgraph mining -------------------------------------------
+    support = max(2, graph.num_edges // 200)
+    result = KaleidoEngine(graph).run(
+        FrequentSubgraphMining(num_edges=2, support=support)
+    )
+    print(f"Frequent 2-edge patterns at support >= {support}: {len(result.value)}")
+    for phash, sup in sorted(result.value.items(), key=lambda kv: -kv[1])[:5]:
+        pattern = result.value.patterns.get(phash)
+        labels = pattern.labels if pattern else "?"
+        print(f"  support={sup:<6} labels={labels}")
+    print(f"  {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

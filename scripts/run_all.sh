@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full reproduction: correctness suite + every paper table/figure benchmark.
+# Outputs land in test_output.txt, bench_output.txt and benchmarks/out/*.txt.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+echo
+echo "== benchmarks (profile: ${REPRO_PROFILE:-bench}) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has setuptools without `wheel`,
+so PEP-517 editable installs fail; `pip install -e .` falls back to this."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of Kaleido (ICDE 2020).
+
+Kaleido is a single-machine, out-of-core graph mining system built on
+three ideas: the Compressed Sparse Embedding (CSE) tensor encoding of
+intermediate embeddings, the EigenHash characteristic-polynomial
+isomorphism fingerprint for patterns under nine vertices, and hybrid
+half-memory-half-disk storage with prediction-based load balancing.
+
+Quickstart::
+
+    from repro import KaleidoEngine, MotifCounting, datasets
+
+    graph = datasets.load("citeseer")
+    result = KaleidoEngine(graph).run(MotifCounting(3))
+    print(result.value)        # {pattern_hash: count}
+    print(result.summary())
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from .apps import (
+    CliqueDiscovery,
+    FrequentSubgraphMining,
+    MotifCounting,
+    TriangleCounting,
+)
+from .core import (
+    CSE,
+    KaleidoEngine,
+    MiningApplication,
+    MiningResult,
+    Pattern,
+    PatternHasher,
+    eigen_hash,
+)
+from .graph import Graph, GraphBuilder, datasets
+from .storage import MemoryBudget, MemoryMeter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "datasets",
+    "CSE",
+    "Pattern",
+    "eigen_hash",
+    "PatternHasher",
+    "KaleidoEngine",
+    "MiningApplication",
+    "MiningResult",
+    "MotifCounting",
+    "CliqueDiscovery",
+    "TriangleCounting",
+    "FrequentSubgraphMining",
+    "MemoryMeter",
+    "MemoryBudget",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""The four evaluation applications (Section 5.1) plus references."""
+
+from .approximate import ApproximateMotifCounting, MotifEstimate, approximate_motifs
+from .matching import MatchResult, PatternMatching
+from .clique import CliqueDiscovery, CliqueResult
+from .fsm_vertex import VertexInducedFSM
+from .fsm import FrequentSubgraphMining, FSMResult, edge_pattern_supports
+from .mni import MNIDomains, merge_domains
+from .motif import MOTIF_COUNTS, MotifCounting, MotifResult
+from .triangle import TriangleCounting
+
+__all__ = [
+    "FrequentSubgraphMining",
+    "FSMResult",
+    "edge_pattern_supports",
+    "MotifCounting",
+    "MotifResult",
+    "MOTIF_COUNTS",
+    "CliqueDiscovery",
+    "CliqueResult",
+    "TriangleCounting",
+    "MNIDomains",
+    "merge_domains",
+    "ApproximateMotifCounting",
+    "MotifEstimate",
+    "approximate_motifs",
+    "PatternMatching",
+    "MatchResult",
+    "VertexInducedFSM",
+]

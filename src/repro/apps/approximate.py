@@ -1,0 +1,115 @@
+"""Sampling-based approximate motif counting (the ASAP trade-off).
+
+The paper's related work (Section 7) contrasts Kaleido with ASAP, which
+trades accuracy for latency by sampling instead of exhausting the
+embedding space.  This module implements that trade-off as an extension:
+uniform seed-embedding sampling with Horvitz–Thompson scale-up.
+
+Estimator
+---------
+Exploration to (k-1)-embeddings is exhaustive for k=3 (the 1-embeddings
+are just the vertices), so the estimator samples *parent* embeddings at
+the (k-1)-th level: draw ``samples`` parents uniformly with replacement,
+expand only those through the canonical filter, and scale each observed
+k-pattern count by ``num_parents / samples``.  Unbiased for every motif
+class; variance shrinks as 1/samples, and an approximate 95% CI is
+reported per class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cse import CSE
+from ..core.engine import KaleidoEngine
+from ..core.explore import canonical_extensions, expand_vertex_level
+from ..core.pattern import Pattern
+from ..graph.graph import Graph
+
+__all__ = ["ApproximateMotifCounting", "MotifEstimate", "approximate_motifs"]
+
+
+@dataclass(frozen=True)
+class MotifEstimate:
+    """Estimated count and approximate 95% confidence half-width."""
+
+    estimate: float
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        return max(0.0, self.estimate - self.half_width)
+
+    @property
+    def high(self) -> float:
+        return self.estimate + self.half_width
+
+
+class ApproximateMotifCounting:
+    """Approximate k-motif census via parent sampling.
+
+    Not a :class:`MiningApplication` — it deliberately bypasses the
+    exhaustive aggregation phase.  Use :func:`approximate_motifs` or call
+    :meth:`run` directly.
+    """
+
+    def __init__(self, k: int, samples: int, seed: int = 0) -> None:
+        if k < 3:
+            raise ValueError("motif size must be at least 3")
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        self.k = k
+        self.samples = samples
+        self.seed = seed
+
+    def run(self, graph: Graph) -> dict[int, MotifEstimate]:
+        """Estimate the k-motif census of ``graph``."""
+        cse = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+        for _ in range(self.k - 2):
+            expand_vertex_level(graph, cse)
+        parents = [emb for _, emb in cse.iter_embeddings()]
+        num_parents = len(parents)
+        if num_parents == 0:
+            return {}
+        rng = np.random.default_rng(self.seed)
+        picks = rng.integers(num_parents, size=self.samples)
+        hasher_engine = KaleidoEngine(graph)  # reuse its PatternHasher
+        bits_hash: dict[int, int] = {}
+        counts: dict[int, int] = {}
+        squares: dict[int, int] = {}
+        for pick in picks.tolist():
+            emb = parents[pick]
+            local: dict[int, int] = {}
+            for cand in canonical_extensions(graph, emb):
+                pattern = Pattern.from_vertex_embedding(
+                    graph, emb + (cand,), use_labels=False
+                )
+                key = pattern.bits
+                phash = bits_hash.get(key)
+                if phash is None:
+                    phash = hasher_engine.hasher.hash_pattern(pattern)
+                    bits_hash[key] = phash
+                local[phash] = local.get(phash, 0) + 1
+            for phash, c in local.items():
+                counts[phash] = counts.get(phash, 0) + c
+                squares[phash] = squares.get(phash, 0) + c * c
+        scale = num_parents / self.samples
+        out: dict[int, MotifEstimate] = {}
+        for phash, total in counts.items():
+            mean = total / self.samples
+            var = max(0.0, squares[phash] / self.samples - mean * mean)
+            stderr = math.sqrt(var / self.samples) * num_parents
+            out[phash] = MotifEstimate(
+                estimate=total * scale, half_width=1.96 * stderr
+            )
+        return out
+
+
+def approximate_motifs(
+    graph: Graph, k: int, samples: int, seed: int = 0
+) -> dict[int, MotifEstimate]:
+    """Convenience wrapper around :class:`ApproximateMotifCounting`."""
+    return ApproximateMotifCounting(k, samples, seed=seed).run(graph)

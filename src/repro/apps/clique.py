@@ -1,0 +1,76 @@
+"""Clique discovery (Section 5.1).
+
+The EmbeddingFilter admits a candidate only when it is adjacent to *every*
+embedding vertex, so after ``k - 1`` iterations the CSE's top level holds
+exactly the k-cliques.  No Mapper work is needed — all embeddings share
+one pattern — so the aggregation just counts.
+"""
+
+from __future__ import annotations
+
+from ..core.api import EngineContext, MiningApplication, PatternMap
+from ..core.cse import CSE
+
+__all__ = ["CliqueDiscovery", "CliqueResult"]
+
+
+class CliqueResult:
+    """Number of k-cliques plus an optional materialised list."""
+
+    def __init__(self, k: int, count: int, cliques: list[tuple[int, ...]] | None):
+        self.k = k
+        self.count = count
+        self.cliques = cliques
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.count == other
+        if isinstance(other, CliqueResult):
+            return (self.k, self.count) == (other.k, other.count)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CliqueResult(k={self.k}, count={self.count})"
+
+
+class CliqueDiscovery(MiningApplication):
+    """Discover (count, optionally materialise) all k-cliques."""
+
+    induced = "vertex"
+
+    def __init__(self, k: int, materialize: bool = False) -> None:
+        if k < 2:
+            raise ValueError("clique size must be at least 2")
+        self.k = k
+        self.materialize = materialize
+
+    @property
+    def name(self) -> str:
+        return f"{self.k}-Clique"
+
+    def iterations(self) -> int:
+        return self.k - 1
+
+    def embedding_filter(self, embedding: tuple[int, ...], candidate: int) -> bool:
+        """Candidate must close a clique with every current member.
+
+        The canonical filter already guaranteed adjacency to at least one
+        member and ordering; here we require adjacency to all."""
+        graph = self._graph
+        return all(graph.has_edge(v, candidate) for v in embedding)
+
+    def init(self, ctx: EngineContext):
+        self._graph = ctx.graph
+        return super().init(ctx)
+
+    def map_embedding(
+        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+    ) -> None:
+        pmap[0] = pmap.get(0, 0) + 1
+
+    def finalize(self, ctx: EngineContext, cse: CSE, pmap: PatternMap) -> CliqueResult:
+        count = pmap.get(0, 0)
+        cliques = None
+        if self.materialize:
+            cliques = [emb for _, emb in cse.iter_embeddings()]
+        return CliqueResult(self.k, count, cliques)

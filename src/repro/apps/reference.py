@@ -1,0 +1,140 @@
+"""Brute-force reference implementations used as ground truth in tests.
+
+All of these enumerate subgraphs exhaustively with no clever data
+structures; they are only viable on tiny graphs, which is exactly what the
+test suite feeds them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.isomorphism import canonical_key, pattern_from_key
+from ..core.pattern import Pattern
+from ..graph.edge_index import EdgeIndex
+from ..graph.graph import Graph
+
+__all__ = [
+    "connected_vertex_sets",
+    "connected_edge_sets",
+    "count_motifs_naive",
+    "count_cliques_naive",
+    "count_triangles_naive",
+    "fsm_naive",
+]
+
+
+def _is_connected_vertex_set(graph: Graph, verts: tuple[int, ...]) -> bool:
+    if not verts:
+        return False
+    vset = set(verts)
+    seen = {verts[0]}
+    frontier = [verts[0]]
+    while frontier:
+        v = frontier.pop()
+        for w in graph.neighbors(v).tolist():
+            if w in vset and w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return len(seen) == len(vset)
+
+
+def connected_vertex_sets(graph: Graph, k: int) -> list[tuple[int, ...]]:
+    """All k-vertex sets inducing a connected subgraph (sorted tuples)."""
+    return [
+        verts
+        for verts in combinations(range(graph.num_vertices), k)
+        if _is_connected_vertex_set(graph, verts)
+    ]
+
+
+def _is_connected_edge_set(edges: list[tuple[int, int]]) -> bool:
+    if not edges:
+        return False
+    adj: dict[int, set[int]] = {}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    start = edges[0][0]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        v = frontier.pop()
+        for w in adj[v]:
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return len(seen) == len(adj)
+
+
+def connected_edge_sets(graph: Graph, k: int) -> list[tuple[int, ...]]:
+    """All k-edge sets forming a connected subgraph, as edge-id tuples."""
+    index = EdgeIndex(graph)
+    out = []
+    for ids in combinations(range(index.num_edges), k):
+        edges = [index.endpoints(e) for e in ids]
+        if _is_connected_edge_set(edges):
+            out.append(ids)
+    return out
+
+
+def count_motifs_naive(graph: Graph, k: int) -> dict[tuple, int]:
+    """Exact motif census keyed by the exact canonical form."""
+    counts: dict[tuple, int] = {}
+    for verts in connected_vertex_sets(graph, k):
+        pattern = Pattern.from_vertex_embedding(graph, verts, use_labels=False)
+        key = canonical_key(pattern)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def count_cliques_naive(graph: Graph, k: int) -> int:
+    """Exact k-clique count."""
+    count = 0
+    for verts in combinations(range(graph.num_vertices), k):
+        if all(graph.has_edge(u, v) for u, v in combinations(verts, 2)):
+            count += 1
+    return count
+
+
+def count_triangles_naive(graph: Graph) -> int:
+    return count_cliques_naive(graph, 3)
+
+
+def fsm_naive(graph: Graph, num_edges: int, support: int) -> dict[tuple, int]:
+    """Exact FSM: canonical pattern form → exact MNI support, frequent only.
+
+    Enumerates every connected edge subset of size ``num_edges``; for each
+    pattern, MNI domains are filled per *exact canonical* position by
+    trying every isomorphism from the embedding onto the canonical
+    representative, which makes the support exact even under automorphisms
+    (the production short-circuit counter uses the cheaper normalised
+    positions instead).
+    """
+    from itertools import permutations
+
+    index = EdgeIndex(graph)
+    domains: dict[tuple, list[set[int]]] = {}
+    for ids in connected_edge_sets(graph, num_edges):
+        edges = [index.endpoints(e) for e in ids]
+        pattern = Pattern.from_edge_embedding(graph, edges)
+        key = canonical_key(pattern)
+        canon = pattern_from_key(key)
+        verts: list[int] = []
+        for u, v in edges:
+            for w in (u, v):
+                if w not in verts:
+                    verts.append(w)
+        k = len(verts)
+        doms = domains.setdefault(key, [set() for _ in range(k)])
+        for perm in permutations(range(k)):
+            candidate = pattern.permute(perm)
+            if candidate == canon:
+                for pos in range(k):
+                    doms[pos].add(verts[perm[pos]])
+    result = {}
+    for key, doms in domains.items():
+        sup = min(len(d) for d in doms)
+        if sup >= support:
+            result[key] = sup
+    return result

@@ -1,0 +1,42 @@
+"""Triangle counting (Section 5.1).
+
+``Init`` produces the 2-embeddings (the edge set); the Mapper counts, for
+each 2-embedding ``<u, v>``, the common neighbors ``w > v`` — each
+triangle is counted exactly once because its canonical 2-prefix is the
+pair of its two smallest vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import EngineContext, MiningApplication, PatternMap
+from ..core.cse import CSE
+
+__all__ = ["TriangleCounting"]
+
+
+class TriangleCounting(MiningApplication):
+    """Count the triangles of the input graph."""
+
+    induced = "vertex"
+
+    @property
+    def name(self) -> str:
+        return "TC"
+
+    def iterations(self) -> int:
+        # One expansion turns 1-embeddings (vertices) into 2-embeddings.
+        return 1
+
+    def map_embedding(
+        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+    ) -> None:
+        u, v = embedding
+        common = ctx.graph.common_neighbors(u, v)
+        count = int(np.count_nonzero(common > v))
+        if count:
+            pmap[0] = pmap.get(0, 0) + count
+
+    def finalize(self, ctx: EngineContext, cse: CSE, pmap: PatternMap) -> int:
+        return pmap.get(0, 0)

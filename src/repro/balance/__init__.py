@@ -1,0 +1,23 @@
+"""Load balancing: candidate-size prediction, partitioning, scheduling."""
+
+from .partition import PartitionQuality, balanced_parts, partition_quality
+from .predict import merged_size, predict_edge_costs, predict_vertex_costs
+from .worksteal import (
+    Schedule,
+    TaskInterval,
+    simulate_work_stealing,
+    utilization_series,
+)
+
+__all__ = [
+    "balanced_parts",
+    "partition_quality",
+    "PartitionQuality",
+    "predict_vertex_costs",
+    "predict_edge_costs",
+    "merged_size",
+    "simulate_work_stealing",
+    "Schedule",
+    "TaskInterval",
+    "utilization_series",
+]

@@ -1,0 +1,68 @@
+"""Cost-driven contiguous partitioning of exploration work (Section 4.2).
+
+Given per-embedding predicted costs, split the level into contiguous parts
+with near-equal cost sums.  Contiguity matters: parts map one-to-one onto
+spilled part files, so they must follow CSE storage order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = ["balanced_parts", "PartitionQuality", "partition_quality"]
+
+
+def balanced_parts(costs: np.ndarray, num_parts: int) -> list[tuple[int, int]]:
+    """Contiguous parts with near-equal predicted cost.
+
+    Boundaries are placed at the cost-quantile positions of the prefix-sum
+    curve.  Degenerate cases (more parts than items, all-zero costs)
+    degrade to an even count split.
+    """
+    if num_parts <= 0:
+        raise PlanError("num_parts must be positive")
+    costs = np.asarray(costs, dtype=np.float64)
+    total_items = costs.shape[0]
+    if total_items == 0:
+        return [(0, 0)] * num_parts
+    total_cost = float(costs.sum())
+    if total_cost <= 0:
+        bounds = np.linspace(0, total_items, num_parts + 1).astype(np.int64)
+    else:
+        prefix = np.cumsum(costs)
+        targets = np.linspace(0, total_cost, num_parts + 1)[1:-1]
+        cuts = np.searchsorted(prefix, targets, side="left") + 1
+        bounds = np.concatenate([[0], cuts, [total_items]]).astype(np.int64)
+        bounds = np.maximum.accumulate(np.clip(bounds, 0, total_items))
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_parts)]
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """How even a partition came out, under the true (or predicted) costs."""
+
+    part_costs: tuple[float, ...]
+    max_cost: float
+    mean_cost: float
+
+    @property
+    def imbalance(self) -> float:
+        """``max / mean`` — 1.0 is perfect, higher is worse."""
+        if self.mean_cost == 0:
+            return 1.0
+        return self.max_cost / self.mean_cost
+
+
+def partition_quality(
+    parts: list[tuple[int, int]], costs: np.ndarray
+) -> PartitionQuality:
+    """Evaluate a partition against per-item costs."""
+    costs = np.asarray(costs, dtype=np.float64)
+    sums = tuple(float(costs[start:end].sum()) for start, end in parts)
+    mx = max(sums, default=0.0)
+    mean = (sum(sums) / len(sums)) if sums else 0.0
+    return PartitionQuality(part_costs=sums, max_cost=mx, mean_cost=mean)

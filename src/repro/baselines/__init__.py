@@ -1,0 +1,12 @@
+"""Baseline systems the paper compares against (all built from scratch)."""
+
+from .arabesque import ArabesqueLikeEngine
+from .blisslike import BlissLikeHasher, canonical_form_search
+from .rstream import RStreamLikeEngine
+
+__all__ = [
+    "ArabesqueLikeEngine",
+    "RStreamLikeEngine",
+    "BlissLikeHasher",
+    "canonical_form_search",
+]

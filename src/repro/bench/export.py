@@ -1,0 +1,61 @@
+"""CSV export/import of benchmark run records."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from .record import RunRecord
+
+__all__ = ["write_records_csv", "read_records_csv"]
+
+_FIELDS = [
+    "system",
+    "app",
+    "dataset",
+    "options",
+    "seconds",
+    "memory_bytes",
+    "io_read_bytes",
+    "io_write_bytes",
+]
+
+
+def write_records_csv(records: list[RunRecord], path: str | os.PathLike[str]) -> None:
+    """Write run records to CSV (digests and extras are not exported)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(
+                {
+                    "system": record.system,
+                    "app": record.app,
+                    "dataset": record.dataset,
+                    "options": record.options,
+                    "seconds": f"{record.seconds:.6f}",
+                    "memory_bytes": record.memory_bytes,
+                    "io_read_bytes": record.io_read_bytes,
+                    "io_write_bytes": record.io_write_bytes,
+                }
+            )
+
+
+def read_records_csv(path: str | os.PathLike[str]) -> list[RunRecord]:
+    """Load run records previously written by :func:`write_records_csv`."""
+    records: list[RunRecord] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            records.append(
+                RunRecord(
+                    system=row["system"],
+                    app=row["app"],
+                    dataset=row["dataset"],
+                    options=row["options"],
+                    seconds=float(row["seconds"]),
+                    memory_bytes=int(row["memory_bytes"]),
+                    io_read_bytes=int(row["io_read_bytes"]),
+                    io_write_bytes=int(row["io_write_bytes"]),
+                )
+            )
+    return records

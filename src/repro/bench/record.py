@@ -1,0 +1,49 @@
+"""Run records shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RunRecord", "geomean", "speedup"]
+
+
+@dataclass
+class RunRecord:
+    """One (system, application, dataset) measurement."""
+
+    system: str  # "kaleido" | "arabesque" | "rstream" | ...
+    app: str  # e.g. "3-FSM"
+    dataset: str
+    options: str  # e.g. "support=300"
+    seconds: float
+    memory_bytes: int
+    io_read_bytes: int = 0
+    io_write_bytes: int = 0
+    value_digest: Any = None  # sorted counts / supports, for agreement checks
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / 1e6
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.app, self.dataset, self.options)
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper's headline aggregation)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))
+
+
+def speedup(baseline: RunRecord, ours: RunRecord) -> float:
+    """baseline time / our time — >1 means we win."""
+    if ours.seconds <= 0:
+        return float("inf")
+    return baseline.seconds / ours.seconds

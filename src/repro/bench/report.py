@@ -1,0 +1,114 @@
+"""Plain-text table / series formatting for benchmark output.
+
+The benchmark files print the same rows and series the paper's tables and
+figures report, so EXPERIMENTS.md can be filled by copy-paste from a
+benchmark run.
+"""
+
+from __future__ import annotations
+
+from .record import RunRecord, geomean
+
+__all__ = ["format_table", "format_series", "comparison_table", "geomean_block"]
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: list[tuple[float, float]], x_label: str, y_label: str
+) -> str:
+    """A plottable (x, y) series as text, with a crude ASCII sparkline."""
+    if not points:
+        return f"{name}: (empty)"
+    ys = [y for _, y in points]
+    lo, hi = min(ys), max(ys)
+    blocks = "▁▂▃▄▅▆▇█"
+    if hi > lo:
+        spark = "".join(blocks[int((y - lo) / (hi - lo) * 7)] for y in ys)
+    else:
+        spark = blocks[0] * len(ys)
+    rows = " ".join(f"({x:.3g},{y:.3g})" for x, y in points)
+    return f"{name} [{x_label} -> {y_label}]\n  {spark}\n  {rows}"
+
+
+def comparison_table(records: list[RunRecord], title: str) -> str:
+    """Table 2 style: one row per (app, dataset, options), one time column
+    per system, plus derived speedups vs kaleido."""
+    systems: list[str] = []
+    for record in records:
+        if record.system not in systems:
+            systems.append(record.system)
+    by_key: dict[tuple, dict[str, RunRecord]] = {}
+    for record in records:
+        by_key.setdefault(record.key(), {})[record.system] = record
+    headers = ["App", "Dataset", "Options"] + [f"{s} (s)" for s in systems] + [
+        f"{s}/kaleido" for s in systems if s != "kaleido"
+    ]
+    rows = []
+    for key in sorted(by_key):
+        cells = [key[0], key[1], key[2]]
+        group = by_key[key]
+        for system in systems:
+            record = group.get(system)
+            cells.append(f"{record.seconds:.3f}" if record else "-")
+        base = group.get("kaleido")
+        for system in systems:
+            if system == "kaleido":
+                continue
+            record = group.get(system)
+            if record and base and base.seconds > 0:
+                cells.append(f"{record.seconds / base.seconds:.1f}x")
+            else:
+                cells.append("-")
+        rows.append(cells)
+    return format_table(headers, rows, title=title)
+
+
+def geomean_block(records: list[RunRecord], against: str = "kaleido") -> str:
+    """GeoMean speedups of `against` vs every other system (paper headline)."""
+    by_key: dict[tuple, dict[str, RunRecord]] = {}
+    for record in records:
+        by_key.setdefault(record.key(), {})[record.system] = record
+    ratios: dict[str, list[float]] = {}
+    memory: dict[str, list[float]] = {}
+    for group in by_key.values():
+        base = group.get(against)
+        if base is None:
+            continue
+        for system, record in group.items():
+            if system == against or base.seconds <= 0:
+                continue
+            ratios.setdefault(system, []).append(record.seconds / base.seconds)
+            if base.memory_bytes > 0:
+                memory.setdefault(system, []).append(
+                    record.memory_bytes / base.memory_bytes
+                )
+    lines = []
+    for system in sorted(ratios):
+        lines.append(
+            f"GeoMean speedup of {against} vs {system}: "
+            f"{geomean(ratios[system]):.1f}x over {len(ratios[system])} cells"
+        )
+    for system in sorted(memory):
+        lines.append(
+            f"GeoMean memory reduction of {against} vs {system}: "
+            f"{geomean(memory[system]):.1f}x"
+        )
+    return "\n".join(lines)

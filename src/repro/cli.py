@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``mine``
+    Run one of the four mining applications over a named dataset or an
+    edge-list file, with optional workers / memory budget / spill dir.
+``datasets``
+    Print the dataset registry (paper stats vs generated stand-ins).
+``generate``
+    Write a synthetic graph to an edge-list file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .apps import (
+    CliqueDiscovery,
+    FrequentSubgraphMining,
+    MotifCounting,
+    TriangleCounting,
+)
+from .core.engine import KaleidoEngine
+from .graph import (
+    PAPER_STATS,
+    chung_lu,
+    dataset_names,
+    load,
+    load_auto,
+    load_edge_list,
+    load_labeled_adjacency,
+    save_edge_list,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kaleido reproduction: out-of-core graph mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="run a mining application")
+    mine.add_argument(
+        "app", choices=["tc", "motif", "clique", "fsm"], help="application"
+    )
+    mine.add_argument(
+        "--dataset", default="citeseer", help="registry name or file path"
+    )
+    mine.add_argument("--profile", default="bench", help="dataset profile")
+    mine.add_argument("--format", default="auto", choices=["auto", "edges", "adjacency"])
+    mine.add_argument("-k", type=int, default=3, help="motif/clique size")
+    mine.add_argument("--edges", type=int, default=2, help="FSM pattern edges")
+    mine.add_argument("--support", type=int, default=5, help="FSM MNI support")
+    mine.add_argument("--exact-mni", action="store_true", help="exact MNI counting")
+    mine.add_argument("--workers", type=int, default=1)
+    mine.add_argument("--memory-limit-mb", type=float, default=None)
+    mine.add_argument("--spill-dir", default=None)
+    mine.add_argument(
+        "--storage", default="auto", choices=["auto", "memory", "spill-last"]
+    )
+    mine.add_argument("--no-prediction", action="store_true")
+    mine.add_argument("--json", action="store_true", help="machine-readable output")
+
+    ds = sub.add_parser("datasets", help="list the dataset registry")
+    ds.add_argument("--profile", default="bench")
+
+    gen = sub.add_parser("generate", help="write a synthetic power-law graph")
+    gen.add_argument("path", help="output edge-list path")
+    gen.add_argument("--vertices", type=int, default=1000)
+    gen.add_argument("--edges", type=int, default=5000)
+    gen.add_argument("--labels", type=int, default=1)
+    gen.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="print statistics of a graph")
+    stats.add_argument("--dataset", default="citeseer")
+    stats.add_argument("--profile", default="bench")
+    stats.add_argument("--format", default="auto", choices=["auto", "edges", "adjacency"])
+
+    approx = sub.add_parser(
+        "approx", help="sampling-based approximate motif counting"
+    )
+    approx.add_argument("--dataset", default="citeseer")
+    approx.add_argument("--profile", default="bench")
+    approx.add_argument("--format", default="auto", choices=["auto", "edges", "adjacency"])
+    approx.add_argument("-k", type=int, default=3)
+    approx.add_argument("--samples", type=int, default=1000)
+    approx.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset in dataset_names():
+        return load(args.dataset, args.profile)
+    if args.format == "adjacency":
+        return load_labeled_adjacency(args.dataset)
+    if args.format == "edges":
+        return load_edge_list(args.dataset)
+    return load_auto(args.dataset)
+
+
+def _make_app(args: argparse.Namespace):
+    if args.app == "tc":
+        return TriangleCounting()
+    if args.app == "motif":
+        return MotifCounting(args.k)
+    if args.app == "clique":
+        return CliqueDiscovery(args.k)
+    return FrequentSubgraphMining(
+        num_edges=args.edges, support=args.support, exact_mni=args.exact_mni
+    )
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    limit = (
+        None if args.memory_limit_mb is None else int(args.memory_limit_mb * 1e6)
+    )
+    with KaleidoEngine(
+        graph,
+        workers=args.workers,
+        memory_limit_bytes=limit,
+        storage_mode=args.storage,
+        spill_dir=args.spill_dir,
+        use_prediction=not args.no_prediction,
+    ) as engine:
+        result = engine.run(_make_app(args))
+    if args.json:
+        payload = {
+            "app": result.app_name,
+            "graph": graph.name,
+            "wall_seconds": result.wall_seconds,
+            "simulated_seconds": result.simulated_seconds,
+            "peak_memory_bytes": result.peak_memory_bytes,
+            "level_sizes": result.level_sizes,
+            "io_bytes_read": result.io_bytes_read,
+            "io_bytes_written": result.io_bytes_written,
+            "value": _value_payload(result.value),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{graph}")
+        print(result.summary())
+        print(f"result: {_value_payload(result.value)}")
+    return 0
+
+
+def _value_payload(value):
+    if isinstance(value, dict):
+        return {str(k): v for k, v in sorted(value.items())}
+    if hasattr(value, "count"):
+        return value.count
+    return value
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':<10} {'paper |V|':>12} {'paper |E|':>12} "
+          f"{'ours |V|':>9} {'ours |E|':>9} {'labels':>7}")
+    for name in dataset_names():
+        paper = PAPER_STATS[name]
+        graph = load(name, args.profile)
+        print(
+            f"{name:<10} {paper['vertices']:>12,} {paper['edges']:>12,} "
+            f"{graph.num_vertices:>9,} {graph.num_edges:>9,} "
+            f"{graph.num_labels:>7}"
+        )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = chung_lu(
+        args.vertices, args.edges, seed=args.seed, num_labels=args.labels
+    )
+    save_edge_list(graph, args.path)
+    print(f"wrote {graph} to {args.path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .graph import compute_stats
+
+    graph = _load_graph(args)
+    print(graph)
+    for metric, value in compute_stats(graph).rows():
+        print(f"  {metric:<24} {value}")
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    from .apps import approximate_motifs
+
+    graph = _load_graph(args)
+    estimates = approximate_motifs(
+        graph, args.k, samples=args.samples, seed=args.seed
+    )
+    print(f"{graph}")
+    print(f"approximate {args.k}-motif census ({args.samples} samples):")
+    for phash, est in sorted(estimates.items(), key=lambda kv: -kv[1].estimate):
+        print(
+            f"  {phash:>20}  {est.estimate:14.1f}  "
+            f"[{est.low:.1f}, {est.high:.1f}]"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "mine":
+        return _cmd_mine(args)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "approx":
+        return _cmd_approx(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

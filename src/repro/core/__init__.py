@@ -1,0 +1,59 @@
+"""Kaleido core: CSE, canonicality, exploration, patterns, EigenHash, engine."""
+
+from .api import EngineContext, MiningApplication, MiningResult, PatternMap
+from .canonical import (
+    canonical_edge_order,
+    canonical_order,
+    edge_extends_canonically,
+    edge_is_canonical,
+    extends_canonically,
+    is_canonical,
+)
+from .cse import CSE, InMemoryLevel, Level
+from .eigenhash import PatternHasher, eigen_hash, faddeev_leverrier, weighted_adjacency
+from .engine import KaleidoEngine
+from .explore import (
+    ExpansionStats,
+    InMemorySink,
+    LevelSink,
+    canonical_extensions,
+    even_parts,
+    expand_edge_level,
+    expand_vertex_level,
+)
+from .isomorphism import are_isomorphic, automorphism_count, canonical_key
+from .pattern import MAX_EIGENHASH_VERTICES, Pattern, triangle_index
+
+__all__ = [
+    "CSE",
+    "InMemoryLevel",
+    "Level",
+    "Pattern",
+    "triangle_index",
+    "MAX_EIGENHASH_VERTICES",
+    "eigen_hash",
+    "faddeev_leverrier",
+    "weighted_adjacency",
+    "PatternHasher",
+    "are_isomorphic",
+    "canonical_key",
+    "automorphism_count",
+    "canonical_order",
+    "is_canonical",
+    "extends_canonically",
+    "canonical_edge_order",
+    "edge_is_canonical",
+    "edge_extends_canonically",
+    "expand_vertex_level",
+    "expand_edge_level",
+    "canonical_extensions",
+    "even_parts",
+    "ExpansionStats",
+    "LevelSink",
+    "InMemorySink",
+    "KaleidoEngine",
+    "MiningApplication",
+    "MiningResult",
+    "EngineContext",
+    "PatternMap",
+]

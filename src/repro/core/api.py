@@ -1,0 +1,166 @@
+"""The Kaleido programming API (Listing 1 of the paper).
+
+Graph mining applications subclass :class:`MiningApplication` and provide
+the hooks of Listing 1:
+
+* ``init``                — seed embeddings (vertices for vertex-induced
+  exploration, edge ids for edge-induced);
+* ``embedding_filter``    — optional pruning of candidates during
+  exploration (the canonical filter is always applied first, as the
+  paper's "default embedding filter");
+* ``map_embedding``       — the AggregatingMapper: fold one embedding into
+  a PatternMap;
+* ``reduce``              — the AggregatingReducer: merge per-worker
+  PatternMaps and apply the PatternFilter;
+* ``pattern_filter``      — optional pruning of aggregated patterns.
+
+The engine (:class:`repro.core.engine.KaleidoEngine`) drives the two
+phases: embedding exploration then pattern aggregation.  Applications that
+aggregate *every* iteration (FSM) set ``aggregate_every_iteration`` and get
+a ``prune`` callback to drop embeddings of infrequent patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..graph.edge_index import EdgeIndex
+from ..graph.graph import Graph
+from .cse import CSE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import KaleidoEngine
+
+__all__ = ["PatternMap", "EngineContext", "MiningApplication", "MiningResult"]
+
+#: Pattern hash → application-defined aggregate (count, MNI domains, ...).
+PatternMap = dict[int, Any]
+
+
+@dataclass
+class EngineContext:
+    """Everything a mining application may need while running."""
+
+    graph: Graph
+    engine: "KaleidoEngine"
+    edge_index: EdgeIndex | None = None
+
+    def hash_pattern(self, pattern) -> int:
+        """Fingerprint a pattern with the engine's isomorphism checker."""
+        return self.engine.hasher.hash_pattern(pattern)
+
+
+class MiningApplication:
+    """Base class for Kaleido mining applications (Listing 1)."""
+
+    #: "vertex" or "edge" — which induced exploration to run.
+    induced: str = "vertex"
+    #: Run map/reduce after every exploration iteration (FSM) instead of
+    #: once at the end.
+    aggregate_every_iteration: bool = False
+    #: Whether ``map_embedding``'s cost scales with the embedding's
+    #: candidate count (motif counting expands candidates on the fly) —
+    #: if so, the engine partitions the aggregation phase by the
+    #: candidate-size prediction; otherwise per-embedding cost is roughly
+    #: uniform and an even count split balances better.
+    mapper_cost_tracks_candidates: bool = False
+
+    # ------------------------------------------------------------------
+    # Phase 1 hooks
+    # ------------------------------------------------------------------
+    def init(self, ctx: EngineContext) -> np.ndarray:
+        """Seed ids for level 1 (vertex ids or edge ids).
+
+        Default: every vertex for vertex-induced exploration, every edge
+        for edge-induced."""
+        if self.induced == "vertex":
+            return np.arange(ctx.graph.num_vertices, dtype=np.int32)
+        assert ctx.edge_index is not None
+        return np.arange(ctx.edge_index.num_edges, dtype=np.int32)
+
+    def iterations(self) -> int:
+        """How many expansion iterations to run after ``init``."""
+        raise NotImplementedError
+
+    def embedding_filter(self, embedding: tuple[int, ...], candidate) -> bool:
+        """Listing 1's EmbeddingFilter; default accepts everything."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 2 hooks
+    # ------------------------------------------------------------------
+    def map_embedding(
+        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+    ) -> None:
+        """AggregatingMapper: fold one embedding into ``pmap``."""
+        raise NotImplementedError
+
+    def reduce(self, ctx: EngineContext, pmaps: list[PatternMap]) -> PatternMap:
+        """AggregatingReducer: merge per-worker maps, apply PatternFilter.
+
+        Default implementation sums numeric values and drops patterns the
+        pattern filter rejects."""
+        merged: PatternMap = {}
+        for pmap in pmaps:
+            for key, value in pmap.items():
+                merged[key] = merged.get(key, 0) + value
+        return {k: v for k, v in merged.items() if self.pattern_filter(k, v)}
+
+    def pattern_filter(self, pattern_hash: int, value: Any) -> bool:
+        """Listing 1's PatternFilter; default accepts everything."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Iteration-coupled aggregation (FSM)
+    # ------------------------------------------------------------------
+    def prune(
+        self, ctx: EngineContext, cse: CSE, reduced: PatternMap
+    ) -> np.ndarray | None:
+        """Return a keep-mask over the top level, or None to keep all.
+
+        Only called when ``aggregate_every_iteration`` is set."""
+        return None
+
+    # ------------------------------------------------------------------
+    def pmap_nbytes(self, pmap: PatternMap) -> int:
+        """Accounted size of one PatternMap (override for rich values)."""
+        return 160 * len(pmap)
+
+    def finalize(self, ctx: EngineContext, cse: CSE, pmap: PatternMap) -> Any:
+        """Turn the final PatternMap into the application's result value."""
+        return pmap
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class MiningResult:
+    """What one engine run produced and what it cost."""
+
+    app_name: str
+    value: Any
+    pattern_map: PatternMap
+    wall_seconds: float
+    simulated_seconds: float
+    peak_memory_bytes: int
+    level_sizes: list[int] = field(default_factory=list)
+    phase_spans: dict[str, float] = field(default_factory=dict)
+    io_bytes_read: int = 0
+    io_bytes_written: int = 0
+    memory_snapshot: dict[str, int] = field(default_factory=dict)
+    schedules: list[Any] = field(default_factory=list)
+    utilization: float = 1.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.app_name}: {self.wall_seconds:.3f}s wall, "
+            f"{self.simulated_seconds:.3f}s simulated, "
+            f"peak {self.peak_memory_bytes / 1e6:.2f} MB, "
+            f"levels {self.level_sizes}"
+        )

@@ -1,0 +1,268 @@
+"""Compressed Sparse Embedding (CSE) — the paper's central data structure.
+
+A k-embedding set is a sparse k-dimensional tensor (Figure 2b); CSE stores
+it level by level, generalising compressed sparse column storage.  Level
+``l`` holds two arrays (Figure 4):
+
+``vert``
+    The last vertex (or edge id, for edge-induced exploration) of every
+    embedding at level ``l``.
+``off``
+    For each embedding ``i`` of level ``l-1``, its children occupy the
+    slice ``vert[off[i]:off[i+1]]``.  The root level has no ``off``.
+
+Every position in ``vert`` identifies one embedding; the full vertex tuple
+is recovered by walking parent offsets upward (``O(k log d̄)`` random
+access via binary search, Section 3.1.1) or by the sequential walk used
+during exploration (amortised ``O(1)`` per embedding).
+
+Levels are accessed through the small :class:`Level` interface so that the
+hybrid storage layer can substitute disk-backed spilled levels
+(:class:`repro.storage.spill.SpilledLevel`) without the explorer noticing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["Level", "InMemoryLevel", "CSE"]
+
+
+class Level(Protocol):
+    """What the explorer needs from one CSE level."""
+
+    @property
+    def num_embeddings(self) -> int:
+        """Number of embeddings stored at this level."""
+
+    def off_array(self) -> np.ndarray | None:
+        """Offset array (length ``parent_count + 1``), or ``None`` at the
+        root.  May be loaded lazily from disk."""
+
+    def vert_array(self) -> np.ndarray:
+        """The whole vertex array in memory (loads spilled parts)."""
+
+    def iter_vert_chunks(self) -> Iterator[np.ndarray]:
+        """Vertex array in storage-order chunks without materialising the
+        whole level (the sequential-walk entry point)."""
+
+    @property
+    def nbytes_in_memory(self) -> int:
+        """Bytes currently resident in memory for this level."""
+
+    @property
+    def nbytes_total(self) -> int:
+        """Bytes of the level wherever they live (memory + disk)."""
+
+
+class InMemoryLevel:
+    """A CSE level fully resident in memory."""
+
+    def __init__(self, vert: np.ndarray, off: np.ndarray | None) -> None:
+        self.vert = np.ascontiguousarray(vert, dtype=np.int32)
+        self.off = None if off is None else np.ascontiguousarray(off, dtype=np.int64)
+        if self.off is not None:
+            if self.off[0] != 0 or self.off[-1] != self.vert.shape[0]:
+                raise ValueError(
+                    f"off array [{self.off[0]}..{self.off[-1]}] does not span "
+                    f"{self.vert.shape[0]} vertices"
+                )
+            if np.any(np.diff(self.off) < 0):
+                raise ValueError("off array must be non-decreasing")
+
+    @property
+    def num_embeddings(self) -> int:
+        return self.vert.shape[0]
+
+    def off_array(self) -> np.ndarray | None:
+        return self.off
+
+    def vert_array(self) -> np.ndarray:
+        return self.vert
+
+    def iter_vert_chunks(self) -> Iterator[np.ndarray]:
+        yield self.vert
+
+    @property
+    def nbytes_in_memory(self) -> int:
+        return self.vert.nbytes + (0 if self.off is None else self.off.nbytes)
+
+    @property
+    def nbytes_total(self) -> int:
+        return self.nbytes_in_memory
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InMemoryLevel(n={self.num_embeddings})"
+
+
+class CSE:
+    """A stack of levels describing 1..k-embeddings of one exploration."""
+
+    def __init__(self, roots: Sequence[int] | np.ndarray) -> None:
+        root = InMemoryLevel(np.asarray(roots, dtype=np.int32), None)
+        self.levels: list[Level] = [root]
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of levels, i.e. the size of the deepest embeddings."""
+        return len(self.levels)
+
+    @property
+    def top(self) -> Level:
+        return self.levels[-1]
+
+    def size(self, level_idx: int | None = None) -> int:
+        """Number of embeddings at ``level_idx`` (default: the top level)."""
+        if level_idx is None:
+            level_idx = self.depth - 1
+        return self.levels[level_idx].num_embeddings
+
+    def append_level(self, level: Level) -> None:
+        off = level.off_array()
+        if off is None:
+            raise ValueError("non-root levels need an off array")
+        expected = self.top.num_embeddings + 1
+        if off.shape[0] != expected:
+            raise ValueError(
+                f"off length {off.shape[0]} != parent count + 1 ({expected})"
+            )
+        self.levels.append(level)
+
+    def pop_level(self) -> Level:
+        """Remove and return the top level (FSM pruning rebuilds levels)."""
+        if self.depth == 1:
+            raise ValueError("cannot pop the root level")
+        return self.levels.pop()
+
+    # ------------------------------------------------------------------
+    # Random access (Section 3.1.1 walk-up example)
+    # ------------------------------------------------------------------
+    def embedding_at(self, level_idx: int, pos: int) -> tuple[int, ...]:
+        """Decode the embedding at ``pos`` of ``level_idx``.
+
+        Walks parent offsets upward with binary search: ``O(k log d̄)``.
+        Requires the off arrays of the touched levels to be in memory.
+        """
+        if not 0 <= level_idx < self.depth:
+            raise IndexError(f"level {level_idx} out of range 0..{self.depth - 1}")
+        out: list[int] = []
+        idx = pos
+        for l in range(level_idx, 0, -1):
+            level = self.levels[l]
+            out.append(int(level.vert_array()[idx]))
+            off = level.off_array()
+            if off is None:
+                raise ValueError(f"level {l} off array unavailable (spilled?)")
+            # Coordinate of idx in the offset array == parent position.
+            idx = int(np.searchsorted(off, idx, side="right")) - 1
+        out.append(int(self.levels[0].vert_array()[idx]))
+        out.reverse()
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Sequential walk (exploration order)
+    # ------------------------------------------------------------------
+    def iter_embeddings(self, level_idx: int | None = None) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Yield ``(position, vertex_tuple)`` for every embedding of a
+        level, in storage order, amortised O(1) each.
+
+        The top level is consumed through ``iter_vert_chunks`` so a spilled
+        level is streamed part by part; lower levels need in-memory offs.
+        """
+        if level_idx is None:
+            level_idx = self.depth - 1
+
+        def walk(l: int) -> Iterator[tuple[int, tuple[int, ...]]]:
+            level = self.levels[l]
+            if l == 0:
+                for i, v in enumerate(level.vert_array().tolist()):
+                    yield i, (v,)
+                return
+            off = level.off_array()
+            if off is None:
+                raise ValueError(f"level {l} off array unavailable for walking")
+            counts = np.diff(off)
+            chunk_iter = level.iter_vert_chunks()
+            chunk: list[int] = []
+            chunk_pos = 0
+            pos = 0
+            for pidx, prefix in walk(l - 1):
+                for _ in range(int(counts[pidx])):
+                    while chunk_pos >= len(chunk):
+                        chunk = next(chunk_iter).tolist()
+                        chunk_pos = 0
+                    yield pos, prefix + (chunk[chunk_pos],)
+                    chunk_pos += 1
+                    pos += 1
+
+        return walk(level_idx)
+
+    def iter_with_parents(self) -> Iterator[tuple[int, int, tuple[int, ...]]]:
+        """Like :meth:`iter_embeddings` on the top level but also yields the
+        parent position — the load-balance predictor needs it to find the
+        sibling slice."""
+        top = self.depth - 1
+        if top == 0:
+            for i, emb in self.iter_embeddings(0):
+                yield i, -1, emb
+            return
+        off = self.levels[top].off_array()
+        if off is None:
+            raise ValueError("top level off array unavailable")
+        counts = np.diff(off)
+        pos = 0
+        chunk_iter = self.levels[top].iter_vert_chunks()
+        chunk: list[int] = []
+        chunk_pos = 0
+        for pidx, prefix in self.iter_embeddings(top - 1):
+            for _ in range(int(counts[pidx])):
+                while chunk_pos >= len(chunk):
+                    chunk = next(chunk_iter).tolist()
+                    chunk_pos = 0
+                yield pos, pidx, prefix + (chunk[chunk_pos],)
+                chunk_pos += 1
+                pos += 1
+
+    # ------------------------------------------------------------------
+    def filter_top_level(self, keep: np.ndarray) -> None:
+        """Compact the top level to the embeddings where ``keep`` is True.
+
+        Used by FSM's Reducer to drop embeddings whose pattern was pruned
+        as infrequent.  The off array is recomputed so parent slices stay
+        consistent; lower levels are untouched (they may now have childless
+        entries, which is fine).
+        """
+        top = self.top
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape[0] != top.num_embeddings:
+            raise ValueError(
+                f"mask length {keep.shape[0]} != level size {top.num_embeddings}"
+            )
+        off = top.off_array()
+        assert off is not None
+        vert = top.vert_array()[keep]
+        cum = np.zeros(keep.shape[0] + 1, dtype=np.int64)
+        np.cumsum(keep, out=cum[1:])
+        new_off = cum[off]
+        # A spilled level compacts back into memory; reclaim its parts.
+        drop = getattr(top, "drop", None)
+        if callable(drop):
+            drop()
+        self.levels[-1] = InMemoryLevel(vert, new_off)
+
+    @property
+    def nbytes_in_memory(self) -> int:
+        """Resident bytes over all levels (what the MemoryMeter tracks)."""
+        return sum(level.nbytes_in_memory for level in self.levels)
+
+    @property
+    def nbytes_total(self) -> int:
+        """Total bytes over all levels, wherever stored."""
+        return sum(level.nbytes_total for level in self.levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(str(level.num_embeddings) for level in self.levels)
+        return f"CSE(depth={self.depth}, sizes=[{sizes}])"

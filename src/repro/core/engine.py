@@ -1,0 +1,337 @@
+"""The Kaleido engine: exploration + aggregation over CSE (Sections 3-4).
+
+One :class:`KaleidoEngine` instance runs one mining application over one
+graph.  Responsibilities:
+
+* drive the vertex- or edge-induced exploration level by level, applying
+  the canonical filter and the application's EmbeddingFilter;
+* decide, per level, whether the new level lives in memory or spills to
+  disk (the hybrid storage policy, driven by the memory budget);
+* partition each level's work by the candidate-size prediction and replay
+  the measured part times through the work-stealing scheduler model to
+  obtain simulated parallel runtimes and utilization;
+* run the pattern aggregation phase through the configured isomorphism
+  fingerprint (EigenHash by default, a bliss-like canonical labeler for
+  the Figure-12 comparison);
+* account every live data structure in a :class:`MemoryMeter`.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+
+from ..balance.partition import balanced_parts
+from ..balance.predict import predict_edge_costs, predict_vertex_costs
+from ..balance.worksteal import Schedule, simulate_work_stealing
+from ..graph.edge_index import EdgeIndex
+from ..graph.graph import Graph
+from ..storage.hybrid import StoragePolicy
+from ..storage.meter import MemoryBudget, MemoryMeter
+from ..storage.spill import PartStore
+from .api import EngineContext, MiningApplication, MiningResult, PatternMap
+from .cse import CSE
+from .eigenhash import PatternHasher
+from .explore import even_parts, expand_edge_level, expand_vertex_level
+
+__all__ = ["KaleidoEngine"]
+
+logger = logging.getLogger("repro.engine")
+
+
+class KaleidoEngine:
+    """Configurable two-phase graph mining engine.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    workers:
+        Modelled worker count; part timings are replayed through the
+        work-stealing schedule for this many workers.
+    hasher:
+        Isomorphism fingerprinter; defaults to the paper's EigenHash.
+        Pass ``repro.baselines.BlissLikeHasher()`` for the Fig.-12 study.
+    memory_limit_bytes:
+        Budget for intermediate data; exceeding it spills CSE levels.
+    storage_mode:
+        ``"auto"`` (spill when over budget), ``"memory"`` (never spill;
+        budget ignored), or ``"spill-last"`` (always spill newly explored
+        levels — the Table-4 "hybrid" configuration).
+    use_prediction:
+        Partition exploration work by predicted candidate sizes (paper
+        default) or by plain embedding counts (the Fig.-17 baseline).
+    parts_per_worker:
+        Task granularity for the scheduler model.
+    synchronous_io / prefetch:
+        Writing-queue and sliding-window behaviour (async + prefetch by
+        default, like the paper; tests turn them off for determinism).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: int = 1,
+        hasher: PatternHasher | None = None,
+        memory_limit_bytes: int | None = None,
+        storage_mode: str = "auto",
+        spill_dir: str | None = None,
+        use_prediction: bool = True,
+        parts_per_worker: int = 4,
+        synchronous_io: bool = False,
+        prefetch: bool = True,
+        max_embeddings: int | None = None,
+    ) -> None:
+        if storage_mode not in ("auto", "memory", "spill-last"):
+            raise ValueError(f"unknown storage_mode {storage_mode!r}")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.graph = graph
+        self.workers = workers
+        self.hasher = hasher if hasher is not None else PatternHasher()
+        self.meter = MemoryMeter()
+        self.budget = MemoryBudget(memory_limit_bytes)
+        self.storage_mode = storage_mode
+        self.use_prediction = use_prediction
+        self.parts_per_worker = parts_per_worker
+        self.synchronous_io = synchronous_io
+        self.prefetch = prefetch
+        #: Safety valve: abort (PlanError) if any level would exceed this
+        #: many embeddings.  Exploration is exponential in depth; a guard
+        #: beats an out-of-control run in production settings.
+        self.max_embeddings = max_embeddings
+        self._store: PartStore | None = (
+            PartStore(spill_dir) if spill_dir is not None else None
+        )
+        self._policy = StoragePolicy(
+            self.budget,
+            self.meter,
+            store=self._store,
+            synchronous_io=synchronous_io,
+            prefetch=prefetch,
+            force_spill_last=(storage_mode == "spill-last"),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, app: MiningApplication) -> MiningResult:
+        """Run one application start to finish and report costs."""
+        started = time.perf_counter()
+        schedules: list[Schedule] = []
+        schedule_phases: list[str] = []
+        phase_spans: dict[str, float] = {}
+
+        ctx = EngineContext(graph=self.graph, engine=self)
+        self.meter.set("graph", self.graph.nbytes)
+        if app.induced == "edge":
+            ctx.edge_index = EdgeIndex(self.graph)
+            self.meter.set("edge_index", ctx.edge_index.nbytes)
+        elif app.induced != "vertex":
+            raise ValueError(f"unknown induced mode {app.induced!r}")
+
+        roots = app.init(ctx)
+        cse = CSE(roots)
+        self.meter.set("cse", cse.nbytes_in_memory)
+        level_sizes = [cse.size()]
+        reduced: PatternMap = {}
+
+        # ---------------- Phase 1: embedding exploration ----------------
+        explore_span = 0.0
+        aggregated = False
+        for _ in range(app.iterations()):
+            costs = self._predict_costs(ctx, cse)
+            if (
+                self.max_embeddings is not None
+                and costs is not None
+                and int(costs.sum()) > self.max_embeddings
+            ):
+                from ..errors import PlanError
+
+                raise PlanError(
+                    f"next level predicted at {int(costs.sum()):,} embeddings, "
+                    f"above the max_embeddings guard of {self.max_embeddings:,}"
+                )
+            num_parts = max(1, self.workers * self.parts_per_worker)
+            if costs is not None:
+                parts = balanced_parts(costs, num_parts)
+                predicted_entries = int(costs.sum())
+            else:
+                parts = even_parts(cse.size(), num_parts)
+                predicted_entries = cse.size() * max(1, int(self.graph.average_degree))
+            sink = None
+            if self.storage_mode != "memory":
+                sink = self._policy.sink_for_next_level(cse, predicted_entries)
+            if app.induced == "vertex":
+                stats = expand_vertex_level(
+                    self.graph, cse, app.embedding_filter, parts=parts, sink=sink
+                )
+            else:
+                assert ctx.edge_index is not None
+                stats = expand_edge_level(
+                    self.graph, ctx.edge_index, cse,
+                    app.embedding_filter, parts=parts, sink=sink,
+                )
+            schedule = simulate_work_stealing(stats.part_seconds, self.workers)
+            schedules.append(schedule)
+            schedule_phases.append("explore")
+            explore_span += schedule.span_seconds
+            level_sizes.append(cse.size())
+            self.meter.set("cse", cse.nbytes_in_memory)
+            logger.debug(
+                "%s: level %d -> %d embeddings (%d candidates examined, "
+                "%.3fs span, %.2f MB accounted)",
+                app.name, cse.depth, cse.size(), stats.candidates_examined,
+                schedule.span_seconds, self.meter.current_bytes / 1e6,
+            )
+
+            if app.aggregate_every_iteration:
+                reduced, agg_span = self._aggregate(
+                    ctx, app, cse, schedules, schedule_phases
+                )
+                aggregated = True
+                explore_span += agg_span
+                mask = app.prune(ctx, cse, reduced)
+                if mask is not None:
+                    cse.filter_top_level(mask)
+                    level_sizes[-1] = cse.size()
+                    self.meter.set("cse", cse.nbytes_in_memory)
+                if cse.size() == 0:
+                    break
+        phase_spans["explore"] = explore_span
+
+        # ---------------- Phase 2: pattern aggregation ------------------
+        if not app.aggregate_every_iteration or not aggregated:
+            reduced, agg_span = self._aggregate(
+                ctx, app, cse, schedules, schedule_phases
+            )
+            phase_spans["aggregate"] = agg_span
+
+        value = app.finalize(ctx, cse, reduced)
+        wall = time.perf_counter() - started
+        logger.info(
+            "%s over %s: %.3fs wall, %d patterns, peak %.2f MB",
+            app.name, self.graph.name, wall, len(reduced),
+            self.meter.peak_bytes / 1e6,
+        )
+        io_read, io_written = self._io_totals()
+        result = MiningResult(
+            app_name=app.name,
+            value=value,
+            pattern_map=reduced,
+            wall_seconds=wall,
+            simulated_seconds=sum(phase_spans.values()),
+            peak_memory_bytes=self.meter.peak_bytes,
+            level_sizes=level_sizes,
+            phase_spans=phase_spans,
+            io_bytes_read=io_read,
+            io_bytes_written=io_written,
+            memory_snapshot=self.meter.snapshot(),
+            schedules=schedules,
+            utilization=(
+                sum(s.busy_seconds for s in schedules)
+                / max(1e-12, sum(s.span_seconds for s in schedules) * self.workers)
+            ),
+            extra={
+                "schedule_phases": schedule_phases,
+                "hasher_cache_entries": len(self.hasher)
+                if hasattr(self.hasher, "__len__")
+                else None,
+                "spilled_levels": self._policy.spilled_levels,
+            },
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _predict_costs(self, ctx: EngineContext, cse: CSE) -> np.ndarray | None:
+        if not self.use_prediction:
+            return None
+        if ctx.edge_index is not None:
+            return predict_edge_costs(ctx.edge_index, cse)
+        return predict_vertex_costs(self.graph, cse)
+
+    def _aggregate(
+        self,
+        ctx: EngineContext,
+        app: MiningApplication,
+        cse: CSE,
+        schedules: list[Schedule],
+        schedule_phases: list[str],
+    ) -> tuple[PatternMap, float]:
+        """Run the Mapper over the top level in parts, then the Reducer.
+
+        Per-thread PatternMaps are modelled faithfully: each part owns its
+        own map (the paper's FSM avoids a concurrent hashmap the same way),
+        so accounted memory grows with the worker count and the final merge
+        is serial — which is exactly why FSM scales sublinearly (Fig. 14).
+        """
+        num_parts = max(1, self.workers * self.parts_per_worker)
+        # Parts follow the candidate-size prediction only when the app's
+        # Mapper cost tracks candidate counts (motif counting expands
+        # every embedding on the fly — the Figure-17 balance effect);
+        # otherwise per-embedding cost is uniform and an even count split
+        # is the better balance.
+        costs = (
+            self._predict_costs(ctx, cse)
+            if app.mapper_cost_tracks_candidates
+            else None
+        )
+        if costs is not None:
+            bounds = balanced_parts(costs, num_parts)
+        else:
+            bounds = even_parts(cse.size(), num_parts)
+        pmaps: list[PatternMap] = []
+        durations: list[float] = []
+        part_iter = iter(bounds)
+        current = next(part_iter, None)
+        pmap: PatternMap = {}
+        part_started = time.perf_counter()
+        for pos, emb in cse.iter_embeddings():
+            while current is not None and pos >= current[1]:
+                durations.append(time.perf_counter() - part_started)
+                pmaps.append(pmap)
+                pmap = {}
+                part_started = time.perf_counter()
+                current = next(part_iter, None)
+            app.map_embedding(ctx, emb, pmap)
+        while current is not None:
+            durations.append(time.perf_counter() - part_started)
+            pmaps.append(pmap)
+            pmap = {}
+            part_started = time.perf_counter()
+            current = next(part_iter, None)
+
+        self.meter.set("pattern_maps", sum(app.pmap_nbytes(m) for m in pmaps))
+        if hasattr(self.hasher, "nbytes"):
+            self.meter.set("hasher_cache", self.hasher.nbytes)
+        schedule = simulate_work_stealing(durations, self.workers)
+        schedules.append(schedule)
+        schedule_phases.append("aggregate")
+
+        reduce_started = time.perf_counter()
+        reduced = app.reduce(ctx, pmaps)
+        reduce_seconds = time.perf_counter() - reduce_started
+        self.meter.set("pattern_maps", app.pmap_nbytes(reduced))
+        return reduced, schedule.span_seconds + reduce_seconds
+
+    def _io_totals(self) -> tuple[int, int]:
+        store = self._policy.store
+        if store is None:
+            return 0, 0
+        return store.io.bytes_read, store.io.bytes_written
+
+    @property
+    def io_stats(self):
+        """The spill store's IOStats (None when nothing ever spilled)."""
+        store = self._policy.store
+        return None if store is None else store.io
+
+    def close(self) -> None:
+        """Delete spill files (safe to call twice)."""
+        self._policy.close()
+
+    def __enter__(self) -> "KaleidoEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,316 @@
+"""Embedding exploration: expanding a CSE by one level (Section 3.1).
+
+Vertex-induced expansion appends one neighboring vertex per step;
+edge-induced expansion (used by FSM) appends one adjacent edge.  Both run
+the Definition-2 canonical filter plus an optional user filter (Listing 1's
+``EmbeddingFilter``).
+
+Expansion is partitioned: the caller supplies contiguous part boundaries
+over the current top level (either an even split or the prediction-driven
+split from :mod:`repro.balance`), and the explorer reports per-part wall
+time so the scheduler can compute makespans and CPU utilisation.  Output
+goes to a *sink* — in-memory for the common case, a spilling sink
+(:mod:`repro.storage`) when the memory budget says the next level will not
+fit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..graph.edge_index import EdgeIndex
+from ..graph.graph import Graph
+from .cse import CSE, InMemoryLevel, Level
+
+__all__ = [
+    "VertexFilter",
+    "EdgeFilter",
+    "ExpansionStats",
+    "LevelSink",
+    "InMemorySink",
+    "canonical_extensions",
+    "expand_vertex_level",
+    "expand_edge_level",
+    "even_parts",
+]
+
+#: Listing 1: ``bool EmbeddingFilter(Embedding e, Vertex v)``.
+VertexFilter = Callable[[tuple[int, ...], int], bool]
+#: Listing 1: ``bool EmbeddingFilter(Embedding e, Edge <u,v>)`` — receives
+#: the embedding's edge-id tuple and the candidate edge's (u, v) endpoints.
+EdgeFilter = Callable[[tuple[int, ...], tuple[int, int]], bool]
+
+
+@dataclass
+class ExpansionStats:
+    """What one level expansion did, per part."""
+
+    part_bounds: list[tuple[int, int]] = field(default_factory=list)
+    part_seconds: list[float] = field(default_factory=list)
+    part_emitted: list[int] = field(default_factory=list)
+    candidates_examined: int = 0
+    emitted: int = 0
+
+    @property
+    def span_seconds(self) -> float:
+        """Makespan if each part ran on its own worker."""
+        return max(self.part_seconds, default=0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.part_seconds)
+
+
+class LevelSink:
+    """Receives expansion output part by part and produces the new level."""
+
+    def write_part(self, vert: np.ndarray) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def finish(self, off: np.ndarray) -> Level:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+class InMemorySink(LevelSink):
+    """Accumulates parts in memory into an :class:`InMemoryLevel`."""
+
+    def __init__(self) -> None:
+        self._parts: list[np.ndarray] = []
+
+    def write_part(self, vert: np.ndarray) -> None:
+        self._parts.append(vert)
+
+    def finish(self, off: np.ndarray) -> Level:
+        if self._parts:
+            vert = np.concatenate(self._parts)
+        else:
+            vert = np.zeros(0, dtype=np.int32)
+        return InMemoryLevel(vert, off)
+
+
+def even_parts(total: int, num_parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``num_parts`` contiguous near-equal parts."""
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    bounds = np.linspace(0, total, num_parts + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_parts)]
+
+
+def _extends_inline(
+    adjacency: list[frozenset[int]], embedding: tuple[int, ...], candidate: int
+) -> bool:
+    """Hot-path copy of :func:`repro.core.canonical.extends_canonically`
+    working on pre-fetched adjacency sets (kept in sync by tests)."""
+    if candidate <= embedding[0]:
+        return False
+    first_neighbor = -1
+    for idx, vertex in enumerate(embedding):
+        if vertex == candidate:
+            return False
+        if first_neighbor < 0 and candidate in adjacency[vertex]:
+            first_neighbor = idx
+    if first_neighbor < 0:
+        return False
+    for idx in range(first_neighbor + 1, len(embedding)):
+        if embedding[idx] > candidate:
+            return False
+    return True
+
+
+def canonical_extensions(graph: Graph, embedding: Sequence[int]) -> list[int]:
+    """All vertices that extend ``embedding`` canonically (Definition 2)."""
+    adjacency = graph.adjacency_sets()
+    emb = tuple(int(v) for v in embedding)
+    if len(emb) == 1:
+        candidates = graph.neighbors(emb[0]).tolist()
+    else:
+        merged: set[int] = set()
+        for v in emb:
+            merged.update(adjacency[v])
+        candidates = sorted(merged)
+    return [cand for cand in candidates if _extends_inline(adjacency, emb, cand)]
+
+
+def expand_vertex_level(
+    graph: Graph,
+    cse: CSE,
+    embedding_filter: VertexFilter | None = None,
+    parts: Sequence[tuple[int, int]] | None = None,
+    sink: LevelSink | None = None,
+) -> ExpansionStats:
+    """Expand the CSE's top level by one vertex (one exploration iteration).
+
+    Walks the top level sequentially; parts are contiguous position ranges
+    whose wall time is recorded individually.  Appends the new level to the
+    CSE and returns the stats.
+    """
+    total = cse.size()
+    if parts is None:
+        parts = [(0, total)]
+    _check_parts(parts, total)
+    if sink is None:
+        sink = InMemorySink()
+    stats = ExpansionStats()
+    counts = np.zeros(total, dtype=np.int64)
+    part_iter = iter(parts)
+    current = next(part_iter, None)
+    buffer: list[int] = []
+    part_started = time.perf_counter()
+    part_emitted = 0
+
+    def flush(bound: tuple[int, int]) -> None:
+        nonlocal buffer, part_started, part_emitted
+        sink.write_part(np.asarray(buffer, dtype=np.int32))
+        elapsed = time.perf_counter() - part_started
+        stats.part_bounds.append(bound)
+        stats.part_seconds.append(elapsed)
+        stats.part_emitted.append(part_emitted)
+        buffer = []
+        part_started = time.perf_counter()
+        part_emitted = 0
+
+    adjacency = graph.adjacency_sets()
+    examined = 0
+    for pos, emb in cse.iter_embeddings():
+        while current is not None and pos >= current[1]:
+            flush(current)
+            current = next(part_iter, None)
+        if len(emb) == 1:
+            candidates = graph.neighbors(emb[0]).tolist()
+        else:
+            merged: set[int] = set()
+            for v in emb:
+                merged.update(adjacency[v])
+            candidates = sorted(merged)
+        emitted_here = 0
+        examined += len(candidates)
+        for cand in candidates:
+            if not _extends_inline(adjacency, emb, cand):
+                continue
+            if embedding_filter is not None and not embedding_filter(emb, cand):
+                continue
+            buffer.append(cand)
+            emitted_here += 1
+        counts[pos] = emitted_here
+        part_emitted += emitted_here
+        stats.emitted += emitted_here
+    stats.candidates_examined = examined
+    while current is not None:
+        flush(current)
+        current = next(part_iter, None)
+
+    off = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(counts, out=off[1:])
+    cse.append_level(sink.finish(off))
+    return stats
+
+
+def expand_edge_level(
+    graph: Graph,
+    index: EdgeIndex,
+    cse: CSE,
+    embedding_filter: EdgeFilter | None = None,
+    parts: Sequence[tuple[int, int]] | None = None,
+    sink: LevelSink | None = None,
+) -> ExpansionStats:
+    """Edge-induced analogue of :func:`expand_vertex_level`.
+
+    CSE levels hold edge ids; the candidate set of an embedding is every
+    edge incident to one of its endpoint vertices.
+    """
+    total = cse.size()
+    if parts is None:
+        parts = [(0, total)]
+    _check_parts(parts, total)
+    if sink is None:
+        sink = InMemorySink()
+    stats = ExpansionStats()
+    counts = np.zeros(total, dtype=np.int64)
+    part_iter = iter(parts)
+    current = next(part_iter, None)
+    buffer: list[int] = []
+    part_started = time.perf_counter()
+    part_emitted = 0
+
+    def flush(bound: tuple[int, int]) -> None:
+        nonlocal buffer, part_started, part_emitted
+        sink.write_part(np.asarray(buffer, dtype=np.int32))
+        elapsed = time.perf_counter() - part_started
+        stats.part_bounds.append(bound)
+        stats.part_seconds.append(elapsed)
+        stats.part_emitted.append(part_emitted)
+        buffer = []
+        part_started = time.perf_counter()
+        part_emitted = 0
+
+    eu, ev = index.endpoint_lists()
+    incident = index.incident_lists()
+    examined = 0
+    for pos, emb in cse.iter_embeddings():
+        while current is not None and pos >= current[1]:
+            flush(current)
+            current = next(part_iter, None)
+        # Arrival index: first embedding position at which each vertex
+        # appears — gives the O(1) "first reachable" step of the
+        # edge-canonicality rule.
+        arrival: dict[int, int] = {}
+        for idx, eid in enumerate(emb):
+            for w in (eu[eid], ev[eid]):
+                if w not in arrival:
+                    arrival[w] = idx
+        candidates: set[int] = set()
+        for w in arrival:
+            candidates.update(incident[w])
+        emb_set = set(emb)
+        first_id = emb[0]
+        k = len(emb)
+        emitted_here = 0
+        examined += len(candidates)
+        for cand in sorted(candidates):
+            if cand <= first_id or cand in emb_set:
+                continue
+            first = arrival.get(eu[cand], k)
+            other = arrival.get(ev[cand], k)
+            if other < first:
+                first = other
+            if first >= k:
+                continue
+            ok = True
+            for idx in range(first + 1, k):
+                if emb[idx] > cand:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if embedding_filter is not None and not embedding_filter(
+                emb, (eu[cand], ev[cand])
+            ):
+                continue
+            buffer.append(cand)
+            emitted_here += 1
+        counts[pos] = emitted_here
+        part_emitted += emitted_here
+        stats.emitted += emitted_here
+    stats.candidates_examined = examined
+    while current is not None:
+        flush(current)
+        current = next(part_iter, None)
+
+    off = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(counts, out=off[1:])
+    cse.append_level(sink.finish(off))
+    return stats
+
+
+def _check_parts(parts: Sequence[tuple[int, int]], total: int) -> None:
+    expected = 0
+    for start, end in parts:
+        if start != expected or end < start:
+            raise ValueError(f"parts must be contiguous over 0..{total}, got {parts}")
+        expected = end
+    if expected != total:
+        raise ValueError(f"parts cover 0..{expected}, level has {total} embeddings")

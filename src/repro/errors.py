@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Kaleido reproduction.
+
+Every error raised deliberately by this library derives from
+:class:`KaleidoError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class KaleidoError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(KaleidoError):
+    """An input edge list or adjacency file could not be parsed."""
+
+
+class GraphConstructionError(KaleidoError):
+    """A graph could not be built from the supplied vertices and edges."""
+
+
+class EmbeddingSizeError(KaleidoError):
+    """An embedding operation was requested for an unsupported size.
+
+    The EigenHash isomorphism fingerprint is only proven collision-free for
+    embeddings with fewer than 9 vertices (Corollary 1 of the paper).
+    """
+
+
+class StorageError(KaleidoError):
+    """The hybrid storage layer failed to read or write a spilled part."""
+
+
+class BudgetExceededError(StorageError):
+    """A memory budget was exceeded and spilling could not reclaim space."""
+
+
+class PlanError(KaleidoError):
+    """An exploration plan (partitioning / scheduling) was inconsistent."""
+
+
+class UnknownDatasetError(KaleidoError):
+    """A dataset name was not found in the registry."""

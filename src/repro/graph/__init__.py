@@ -1,0 +1,48 @@
+"""Graph substrate: immutable CSR graphs, builders, IO, generators, datasets."""
+
+from .builder import GraphBuilder, from_edge_list
+from .datasets import PAPER_STATS, dataset_names, load, patent_with_labels
+from .generators import (
+    chung_lu,
+    ensure_connected_core,
+    erdos_renyi,
+    preferential_attachment,
+    rmat,
+    zipf_labels,
+)
+from .graph import Graph
+from .stats import GraphStats, compute_stats, degree_histogram, power_law_alpha
+from .io import (
+    load_auto,
+    load_edge_list,
+    load_labeled_adjacency,
+    save_edge_list,
+    save_labeled_adjacency,
+    sniff_format,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "from_edge_list",
+    "load_edge_list",
+    "save_edge_list",
+    "load_labeled_adjacency",
+    "load_auto",
+    "sniff_format",
+    "save_labeled_adjacency",
+    "erdos_renyi",
+    "chung_lu",
+    "preferential_attachment",
+    "rmat",
+    "zipf_labels",
+    "ensure_connected_core",
+    "load",
+    "dataset_names",
+    "patent_with_labels",
+    "PAPER_STATS",
+    "GraphStats",
+    "compute_stats",
+    "degree_histogram",
+    "power_law_alpha",
+]

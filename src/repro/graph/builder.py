@@ -1,0 +1,101 @@
+"""Mutable builder that accumulates edges and emits an immutable CSR graph."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import GraphConstructionError
+from .graph import Graph
+
+__all__ = ["GraphBuilder", "from_edge_list"]
+
+
+class GraphBuilder:
+    """Accumulates labeled vertices and undirected edges, then builds CSR.
+
+    Self-loops are rejected; duplicate edges are deduplicated silently (real
+    edge lists are full of them).  Vertices mentioned only in edges get the
+    default label ``0`` unless labeled explicitly.
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        self._num_vertices = num_vertices
+        self._labels: dict[int, int] = {}
+        self._src: list[int] = []
+        self._dst: list[int] = []
+
+    def add_vertex(self, v: int, label: int = 0) -> None:
+        """Declare vertex ``v`` with ``label`` (may precede its edges)."""
+        if v < 0:
+            raise GraphConstructionError(f"negative vertex id {v}")
+        self._labels[v] = label
+        self._num_vertices = max(self._num_vertices, v + 1)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``(u, v)``; self-loops are an error."""
+        if u == v:
+            raise GraphConstructionError(f"self-loop at vertex {u}")
+        if u < 0 or v < 0:
+            raise GraphConstructionError(f"negative vertex id in edge ({u}, {v})")
+        self._src.append(u)
+        self._dst.append(v)
+        self._num_vertices = max(self._num_vertices, u + 1, v + 1)
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Add many undirected edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def set_labels(self, labels: Sequence[int] | Mapping[int, int]) -> None:
+        """Assign labels for many vertices at once."""
+        if isinstance(labels, Mapping):
+            for v, lab in labels.items():
+                self.add_vertex(int(v), int(lab))
+        else:
+            for v, lab in enumerate(labels):
+                self.add_vertex(v, int(lab))
+
+    def build(self, name: str = "graph") -> Graph:
+        """Produce the immutable :class:`Graph`."""
+        n = self._num_vertices
+        if self._src:
+            u = np.asarray(self._src, dtype=np.int64)
+            v = np.asarray(self._dst, dtype=np.int64)
+            lo = np.minimum(u, v)
+            hi = np.maximum(u, v)
+            # Dedup undirected edges via a single sortable key.
+            key = lo * n + hi
+            key = np.unique(key)
+            lo = (key // n).astype(np.int64)
+            hi = (key % n).astype(np.int64)
+            src = np.concatenate([lo, hi])
+            dst = np.concatenate([hi, lo])
+            order = np.lexsort((dst, src))
+            src = src[order]
+            dst = dst[order]
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.add.at(indptr, src + 1, 1)
+            np.cumsum(indptr, out=indptr)
+            indices = dst.astype(np.int32)
+        else:
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            indices = np.zeros(0, dtype=np.int32)
+        labels = np.zeros(n, dtype=np.int32)
+        for vert, lab in self._labels.items():
+            labels[vert] = lab
+        return Graph(indptr, indices, labels, name=name)
+
+
+def from_edge_list(
+    edges: Iterable[tuple[int, int]],
+    labels: Sequence[int] | Mapping[int, int] | None = None,
+    name: str = "graph",
+) -> Graph:
+    """Convenience: build a graph directly from an edge iterable."""
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    if labels is not None:
+        builder.set_labels(labels)
+    return builder.build(name=name)

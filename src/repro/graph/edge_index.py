@@ -1,0 +1,88 @@
+"""Vertex → incident-edge-id index for edge-induced exploration.
+
+Edge ids follow :meth:`repro.graph.Graph.edge_arrays`: lexicographic order
+of ``(u, v)`` with ``u < v``.  The index is the CSR of the bipartite
+vertex/edge incidence, giving the incident edge ids of a vertex in one
+sorted slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["EdgeIndex"]
+
+
+class EdgeIndex:
+    """Sorted incident-edge-id lists per vertex, plus id → endpoints."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        eu, ev = graph.edge_arrays()
+        self.edge_u = eu
+        self.edge_v = ev
+        self._u_list: list[int] | None = None
+        self._v_list: list[int] | None = None
+        self._incident_lists: list[list[int]] | None = None
+        m = eu.shape[0]
+        n = graph.num_vertices
+        endpoints = np.concatenate([eu, ev]).astype(np.int64)
+        edge_ids = np.tile(np.arange(m, dtype=np.int64), 2)
+        order = np.lexsort((edge_ids, endpoints))
+        endpoints = endpoints[order]
+        edge_ids = edge_ids[order]
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self.indptr, endpoints + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        self.incident = edge_ids.astype(np.int32)
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_u.shape[0]
+
+    def endpoints(self, edge_id: int) -> tuple[int, int]:
+        """The ``(u, v)`` endpoints (``u < v``) of an edge id."""
+        return int(self.edge_u[edge_id]), int(self.edge_v[edge_id])
+
+    def incident_edges(self, vertex: int) -> np.ndarray:
+        """Sorted edge ids incident to ``vertex`` (a view)."""
+        return self.incident[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def endpoint_lists(self) -> tuple[list[int], list[int]]:
+        """Edge endpoints as plain Python lists (hot-path id decoding)."""
+        if self._u_list is None:
+            self._u_list = self.edge_u.tolist()
+            self._v_list = self.edge_v.tolist()
+        assert self._v_list is not None
+        return self._u_list, self._v_list
+
+    def incident_lists(self) -> list[list[int]]:
+        """Per-vertex incident edge ids as Python lists (hot path)."""
+        if self._incident_lists is None:
+            indptr = self.indptr
+            incident = self.incident.tolist()
+            self._incident_lists = [
+                incident[indptr[v] : indptr[v + 1]]
+                for v in range(self.graph.num_vertices)
+            ]
+        return self._incident_lists
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of ``(u, v)``; raises ``KeyError`` if absent."""
+        if u > v:
+            u, v = v, u
+        ids = self.incident_edges(u)
+        # incident lists are sorted by edge id; edge ids of a fixed u are
+        # ordered by v, so binary search on the v endpoint works.
+        vs = self.edge_v[ids]
+        us = self.edge_u[ids]
+        for eid, uu, vv in zip(ids.tolist(), us.tolist(), vs.tolist()):
+            if uu == u and vv == v:
+                return int(eid)
+        raise KeyError(f"edge ({u}, {v}) not in graph")
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.incident.nbytes

@@ -1,0 +1,177 @@
+"""Loading and saving graphs as text edge lists.
+
+Two formats are supported, matching what Arabesque and RStream consume:
+
+``edge list`` (one edge per line)::
+
+    # comment
+    0 1
+    0 2
+
+``labeled adjacency`` (Arabesque's input format; one vertex per line)::
+
+    <vertex id> <label> <neighbor> <neighbor> ...
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from ..errors import GraphFormatError
+from .builder import GraphBuilder
+from .graph import Graph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_labeled_adjacency",
+    "save_labeled_adjacency",
+    "sniff_format",
+    "load_auto",
+]
+
+
+def _open_lines(path: str | os.PathLike[str]) -> list[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.readlines()
+
+
+def load_edge_list(path: str | os.PathLike[str], name: str | None = None) -> Graph:
+    """Load a graph from a whitespace-separated edge list.
+
+    Each line is ``u v`` or ``u v edge_label`` (Definition 1's L(u, v)).
+    Lines starting with ``#`` or ``%`` are comments.  Raises
+    :class:`GraphFormatError` on malformed lines or when only some lines
+    carry an edge label.
+    """
+    builder = GraphBuilder()
+    labeled_edges: dict[tuple[int, int], int] = {}
+    saw_labels = False
+    saw_unlabeled = False
+    for lineno, line in enumerate(_open_lines(path), start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            edge_label = int(parts[2]) if len(parts) >= 3 else None
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}:{lineno}: non-integer field") from exc
+        if u == v:
+            continue
+        builder.add_edge(u, v)
+        if edge_label is None:
+            saw_unlabeled = True
+        else:
+            saw_labels = True
+            labeled_edges[(min(u, v), max(u, v))] = edge_label
+    if saw_labels and saw_unlabeled:
+        raise GraphFormatError(
+            f"{path}: mixed labeled and unlabeled edge lines"
+        )
+    graph = builder.build(name=name or os.path.basename(os.fspath(path)))
+    if saw_labels:
+        eu, ev = graph.edge_arrays()
+        labels = [labeled_edges[(int(a), int(b))] for a, b in zip(eu, ev)]
+        graph = graph.with_edge_labels(labels, name=graph.name)
+    return graph
+
+
+def save_edge_list(graph: Graph, path: str | os.PathLike[str]) -> None:
+    """Write the graph as ``u v`` (or ``u v edge_label``) lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write_edges(graph, handle)
+
+
+def _write_edges(graph: Graph, handle: TextIO) -> None:
+    eu, ev = graph.edge_arrays()
+    if graph.has_edge_labels:
+        assert graph.edge_labels is not None
+        for u, v, lab in zip(eu.tolist(), ev.tolist(), graph.edge_labels.tolist()):
+            handle.write(f"{u} {v} {lab}\n")
+    else:
+        for u, v in zip(eu.tolist(), ev.tolist()):
+            handle.write(f"{u} {v}\n")
+
+
+def load_labeled_adjacency(
+    path: str | os.PathLike[str], name: str | None = None
+) -> Graph:
+    """Load a labeled graph in Arabesque's adjacency format."""
+    builder = GraphBuilder()
+    for lineno, line in enumerate(_open_lines(path), start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(
+                f"{path}:{lineno}: expected '<id> <label> [neighbors...]'"
+            )
+        try:
+            vertex = int(parts[0])
+            label = int(parts[1])
+            neighbors = [int(p) for p in parts[2:]]
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}:{lineno}: non-integer field") from exc
+        builder.add_vertex(vertex, label)
+        for nbr in neighbors:
+            if nbr != vertex:
+                builder.add_edge(vertex, nbr)
+    return builder.build(name=name or os.path.basename(os.fspath(path)))
+
+
+def sniff_format(path: str | os.PathLike[str]) -> str:
+    """Guess whether a file is an ``edges`` list or a labeled ``adjacency``.
+
+    Heuristic: in the adjacency format the first field is a vertex id and
+    appears exactly once per file, and every neighbor id also occurs as
+    some line's vertex id.  Edge lists almost always repeat endpoints.
+    Ambiguous files (both hold) default to ``edges``.
+    """
+    firsts: list[int] = []
+    neighbor_ids: set[int] = set()
+    for line in _open_lines(path):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        try:
+            fields = [int(p) for p in parts]
+        except ValueError as exc:
+            raise GraphFormatError(f"{path}: non-integer field") from exc
+        if not fields:
+            continue
+        firsts.append(fields[0])
+        neighbor_ids.update(fields[2:])
+    if not firsts:
+        return "edges"
+    unique_firsts = len(set(firsts)) == len(firsts)
+    neighbors_known = neighbor_ids <= set(firsts)
+    if unique_firsts and neighbor_ids and neighbors_known:
+        return "adjacency"
+    if unique_firsts and not neighbor_ids:
+        # Two-field lines only: unique first fields happen in edge lists
+        # too (e.g. a star's edges) — prefer the edge interpretation.
+        return "edges"
+    return "edges" if not unique_firsts else "adjacency"
+
+
+def load_auto(path: str | os.PathLike[str], name: str | None = None) -> Graph:
+    """Load a graph, sniffing the format (see :func:`sniff_format`)."""
+    if sniff_format(path) == "adjacency":
+        return load_labeled_adjacency(path, name=name)
+    return load_edge_list(path, name=name)
+
+
+def save_labeled_adjacency(graph: Graph, path: str | os.PathLike[str]) -> None:
+    """Write the graph in Arabesque's labeled adjacency format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for v in range(graph.num_vertices):
+            nbrs = " ".join(str(int(w)) for w in graph.neighbors(v))
+            suffix = f" {nbrs}" if nbrs else ""
+            handle.write(f"{v} {graph.label(v)}{suffix}\n")

@@ -1,0 +1,25 @@
+"""Hybrid half-memory-half-disk storage for large intermediate data."""
+
+from .checkpoint import load_cse, save_cse
+from .hybrid import SpillingSink, StoragePolicy, spill_level
+from .meter import IOEvent, IOStats, MemoryBudget, MemoryMeter
+from .queue import WritingQueue
+from .spill import PartHandle, PartStore, SpilledLevel
+from .window import SlidingWindowReader
+
+__all__ = [
+    "MemoryMeter",
+    "MemoryBudget",
+    "IOStats",
+    "IOEvent",
+    "PartStore",
+    "PartHandle",
+    "SpilledLevel",
+    "SlidingWindowReader",
+    "WritingQueue",
+    "SpillingSink",
+    "StoragePolicy",
+    "spill_level",
+    "save_cse",
+    "load_cse",
+]

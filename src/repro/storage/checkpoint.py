@@ -1,0 +1,83 @@
+"""Checkpointing a CSE to disk and resuming from it.
+
+Deep explorations are expensive; the level-by-level CSE layout makes the
+whole intermediate state trivially serialisable — one ``.npy`` pair per
+level plus a JSON manifest.  A later process can reload the CSE and keep
+exploring (or aggregate) without redoing earlier iterations; spilled
+levels are materialised through their chunk iterator, so checkpointing
+works in hybrid mode too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..core.cse import CSE, InMemoryLevel
+from ..errors import StorageError
+
+__all__ = ["save_cse", "load_cse"]
+
+_MANIFEST = "cse_manifest.json"
+_FORMAT_VERSION = 1
+
+
+def save_cse(cse: CSE, directory: str | os.PathLike[str]) -> None:
+    """Write every level of ``cse`` into ``directory``.
+
+    The directory is created if needed; an existing checkpoint there is
+    overwritten atomically enough for our purposes (manifest last).
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    levels_meta = []
+    for idx, level in enumerate(cse.levels):
+        vert_path = os.path.join(directory, f"level{idx}_vert.npy")
+        chunks = list(level.iter_vert_chunks())
+        vert = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int32)
+        np.save(vert_path, vert, allow_pickle=False)
+        entry = {"vert": os.path.basename(vert_path), "count": int(vert.shape[0])}
+        off = level.off_array()
+        if off is not None:
+            off_path = os.path.join(directory, f"level{idx}_off.npy")
+            np.save(off_path, off, allow_pickle=False)
+            entry["off"] = os.path.basename(off_path)
+        levels_meta.append(entry)
+    manifest = {"version": _FORMAT_VERSION, "levels": levels_meta}
+    with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_cse(directory: str | os.PathLike[str]) -> CSE:
+    """Reload a checkpointed CSE (all levels in memory)."""
+    directory = os.fspath(directory)
+    manifest_path = os.path.join(directory, _MANIFEST)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read CSE manifest at {manifest_path}: {exc}") from exc
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported CSE checkpoint version {manifest.get('version')!r}"
+        )
+    levels_meta = manifest.get("levels", [])
+    if not levels_meta:
+        raise StorageError("checkpoint contains no levels")
+    try:
+        root_vert = np.load(
+            os.path.join(directory, levels_meta[0]["vert"]), allow_pickle=False
+        )
+    except OSError as exc:
+        raise StorageError(f"missing checkpoint level file: {exc}") from exc
+    cse = CSE(root_vert)
+    for entry in levels_meta[1:]:
+        try:
+            vert = np.load(os.path.join(directory, entry["vert"]), allow_pickle=False)
+            off = np.load(os.path.join(directory, entry["off"]), allow_pickle=False)
+        except (OSError, KeyError) as exc:
+            raise StorageError(f"corrupt checkpoint entry {entry!r}: {exc}") from exc
+        cse.append_level(InMemoryLevel(vert, off))
+    return cse

@@ -1,0 +1,125 @@
+"""Hybrid half-memory-half-disk storage policy (Section 4.1).
+
+Glue between the explorer and the spill machinery:
+
+* :class:`SpillingSink` — a :class:`repro.core.explore.LevelSink` that
+  routes each exploration part through the writing queue and finishes into
+  a :class:`SpilledLevel`.
+* :func:`spill_level` — demote an existing in-memory level to disk.
+* :class:`StoragePolicy` — decides, before each expansion, whether the new
+  level goes to memory or disk, given the memory budget and a size
+  prediction for the next level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cse import CSE, InMemoryLevel, Level
+from ..core.explore import InMemorySink, LevelSink
+from .meter import MemoryBudget, MemoryMeter
+from .queue import WritingQueue
+from .spill import PartStore, SpilledLevel
+
+__all__ = ["SpillingSink", "spill_level", "StoragePolicy"]
+
+
+class SpillingSink(LevelSink):
+    """Writes expansion parts to disk through the writing queue."""
+
+    def __init__(
+        self,
+        store: PartStore,
+        synchronous: bool = False,
+        prefetch: bool = True,
+        tag: str = "vert",
+    ) -> None:
+        self.store = store
+        self.prefetch = prefetch
+        self._queue = WritingQueue(store, synchronous=synchronous)
+        self._tag = tag
+
+    def write_part(self, vert: np.ndarray) -> None:
+        self._queue.submit(vert, tag=self._tag)
+
+    def finish(self, off: np.ndarray) -> Level:
+        handles = self._queue.close()
+        return SpilledLevel(self.store, handles, off, prefetch=self.prefetch)
+
+
+def spill_level(
+    level: Level, store: PartStore, part_entries: int = 1 << 16, prefetch: bool = True
+) -> SpilledLevel:
+    """Write an in-memory level's vertex array to disk in fixed-size parts."""
+    if isinstance(level, SpilledLevel):
+        return level
+    vert = level.vert_array()
+    handles = []
+    for start in range(0, max(1, vert.shape[0]), part_entries):
+        chunk = vert[start : start + part_entries]
+        if chunk.shape[0] == 0 and handles:
+            break
+        handles.append(store.save(chunk, tag="demoted"))
+    return SpilledLevel(store, handles, level.off_array(), prefetch=prefetch)
+
+
+class StoragePolicy:
+    """Chooses memory vs disk for each new CSE level.
+
+    The prediction of the next level's size (sum of predicted candidate
+    counts, 4 bytes per emitted vertex as an upper bound before filtering)
+    is compared against the budget headroom; when it does not fit, the new
+    level is spilled — and if that is still not enough, the current top
+    level is demoted too (deep explorations spill several levels, one
+    window per on-disk level, per the paper).
+    """
+
+    def __init__(
+        self,
+        budget: MemoryBudget,
+        meter: MemoryMeter,
+        store: PartStore | None = None,
+        synchronous_io: bool = False,
+        prefetch: bool = True,
+        force_spill_last: bool = False,
+    ) -> None:
+        self.budget = budget
+        self.meter = meter
+        self.store = store
+        self.synchronous_io = synchronous_io
+        self.prefetch = prefetch
+        self.force_spill_last = force_spill_last
+        self.spilled_levels = 0
+
+    def _ensure_store(self) -> PartStore:
+        if self.store is None:
+            self.store = PartStore()
+        return self.store
+
+    def sink_for_next_level(
+        self, cse: CSE, predicted_entries: int, bytes_per_entry: int = 4
+    ) -> LevelSink:
+        """Sink for the upcoming expansion, spilling when needed."""
+        predicted_bytes = predicted_entries * bytes_per_entry
+        if not self.force_spill_last and self.budget.fits(
+            self.meter.current_bytes, predicted_bytes
+        ):
+            return InMemorySink()
+        self.spilled_levels += 1
+        store = self._ensure_store()
+        # If even the offsets of existing levels blow the budget, demote
+        # the current top level as well.
+        if not self.budget.fits(self.meter.current_bytes, 0) and cse.depth > 1:
+            top = cse.levels[-1]
+            if isinstance(top, InMemoryLevel):
+                cse.levels[-1] = spill_level(top, store, prefetch=self.prefetch)
+        return SpillingSink(
+            store,
+            synchronous=self.synchronous_io,
+            prefetch=self.prefetch,
+            tag=f"vert{cse.depth + 1}",
+        )
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()

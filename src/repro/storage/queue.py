@@ -1,0 +1,93 @@
+"""Background writing queue (Figure 7).
+
+Workers append their finished parts to the queue; a single writer thread
+flushes them to the part store so computation is not blocked on disk.
+``flush()`` waits for everything submitted so far; the queue is also a
+context manager that flushes and stops its thread on exit.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .spill import PartHandle, PartStore
+
+__all__ = ["WritingQueue"]
+
+_STOP = object()
+
+
+class WritingQueue:
+    """Asynchronous part writer preserving submission order.
+
+    Set ``synchronous=True`` to write inline (deterministic tests).
+    """
+
+    def __init__(self, store: "PartStore", synchronous: bool = False) -> None:
+        self.store = store
+        self.synchronous = synchronous
+        self._handles: list["PartHandle"] = []
+        self._error: BaseException | None = None
+        if not synchronous:
+            self._queue: queue.Queue = queue.Queue(maxsize=16)
+            self._thread = threading.Thread(
+                target=self._run, name="kaleido-writer", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, array: np.ndarray, tag: str = "part") -> None:
+        """Queue one array for writing; raises pending writer errors."""
+        self._raise_pending()
+        if self.synchronous:
+            self._handles.append(self.store.save(array, tag=tag))
+        else:
+            self._queue.put((array, tag))
+
+    def flush(self) -> list["PartHandle"]:
+        """Wait for all submitted parts; return their handles in order."""
+        if not self.synchronous:
+            self._queue.join()
+        self._raise_pending()
+        return list(self._handles)
+
+    def close(self) -> list["PartHandle"]:
+        """Flush and stop the writer thread; returns all handles."""
+        handles = self.flush()
+        if not self.synchronous and self._thread.is_alive():
+            self._queue.put(_STOP)
+            self._thread.join(timeout=30)
+        return handles
+
+    def __enter__(self) -> "WritingQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            array, tag = item
+            try:
+                self._handles.append(self.store.save(array, tag=tag))
+            except BaseException as exc:  # surfaced on next submit/flush
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise StorageError(f"background writer failed: {error}") from error

@@ -1,0 +1,70 @@
+"""Unit tests for the sampling-based approximate motif counter."""
+
+import pytest
+
+from repro import KaleidoEngine, MotifCounting
+from repro.apps import ApproximateMotifCounting, approximate_motifs
+from repro.graph import from_edge_list
+from tests.conftest import random_labeled_graph
+
+
+def test_full_sampling_has_small_error(paper_graph):
+    """Sampling ~every parent should land close to the exact counts
+    (sampling is with replacement, so not exactly equal)."""
+    exact = KaleidoEngine(paper_graph).run(MotifCounting(3)).value
+    approx = approximate_motifs(paper_graph, 3, samples=2000, seed=1)
+    assert set(approx) == set(exact)
+    for phash, estimate in approx.items():
+        assert estimate.estimate == pytest.approx(exact[phash], rel=0.25)
+
+
+def test_estimates_within_confidence_mostly():
+    graph = random_labeled_graph(60, 200, 1, seed=3)
+    exact = KaleidoEngine(graph).run(MotifCounting(3)).value
+    approx = approximate_motifs(graph, 3, samples=400, seed=7)
+    hits = sum(
+        1
+        for phash, est in approx.items()
+        if est.low <= exact.get(phash, 0) <= est.high
+    )
+    assert hits >= max(1, len(approx) - 1)  # ~95% CIs; allow one miss
+
+
+def test_deterministic_given_seed(paper_graph):
+    a = approximate_motifs(paper_graph, 3, samples=50, seed=42)
+    b = approximate_motifs(paper_graph, 3, samples=50, seed=42)
+    assert {h: e.estimate for h, e in a.items()} == {
+        h: e.estimate for h, e in b.items()
+    }
+
+
+def test_more_samples_tighter_intervals():
+    graph = random_labeled_graph(50, 160, 1, seed=11)
+    small = approximate_motifs(graph, 3, samples=50, seed=5)
+    large = approximate_motifs(graph, 3, samples=2000, seed=5)
+    common = set(small) & set(large)
+    assert common
+    small_width = sum(small[h].half_width for h in common)
+    large_width = sum(large[h].half_width for h in common)
+    assert large_width < small_width
+
+
+def test_k4_sampling():
+    graph = random_labeled_graph(30, 80, 1, seed=2)
+    exact = KaleidoEngine(graph).run(MotifCounting(4)).value
+    approx = approximate_motifs(graph, 4, samples=3000, seed=9)
+    total_exact = sum(exact.values())
+    total_est = sum(e.estimate for e in approx.values())
+    assert total_est == pytest.approx(total_exact, rel=0.2)
+
+
+def test_empty_graph():
+    graph = from_edge_list([])
+    assert approximate_motifs(graph, 3, samples=10) == {}
+
+
+def test_validates_arguments():
+    with pytest.raises(ValueError):
+        ApproximateMotifCounting(2, 10)
+    with pytest.raises(ValueError):
+        ApproximateMotifCounting(3, 0)

@@ -1,0 +1,55 @@
+"""Unit tests for clique discovery."""
+
+import pytest
+
+from repro import CliqueDiscovery, KaleidoEngine
+from repro.apps.reference import count_cliques_naive
+from repro.graph import from_edge_list
+from tests.conftest import random_labeled_graph
+
+
+def test_paper_example_3cliques(paper_graph):
+    result = KaleidoEngine(paper_graph).run(CliqueDiscovery(3))
+    assert result.value.count == 3
+
+
+def test_figure9_triangles_materialized(paper_graph):
+    result = KaleidoEngine(paper_graph).run(CliqueDiscovery(3, materialize=True))
+    assert set(result.value.cliques) == {(1, 2, 5), (2, 3, 5), (3, 4, 5)}
+
+
+def test_k4_in_paper_graph(paper_graph):
+    assert KaleidoEngine(paper_graph).run(CliqueDiscovery(4)).value.count == 0
+
+
+def test_complete_graph_counts():
+    k6 = from_edge_list([(i, j) for i in range(6) for j in range(i + 1, 6)])
+    for k, expected in [(3, 20), (4, 15), (5, 6), (6, 1)]:
+        assert KaleidoEngine(k6).run(CliqueDiscovery(k)).value.count == expected
+
+
+def test_matches_naive_random():
+    for seed in range(4):
+        g = random_labeled_graph(14, 45, 2, seed=100 + seed)
+        for k in (3, 4):
+            got = KaleidoEngine(g).run(CliqueDiscovery(k)).value.count
+            assert got == count_cliques_naive(g, k), (seed, k)
+
+
+def test_2cliques_are_edges(paper_graph):
+    assert KaleidoEngine(paper_graph).run(CliqueDiscovery(2)).value.count == 7
+
+
+def test_validates_k():
+    with pytest.raises(ValueError):
+        CliqueDiscovery(1)
+
+
+def test_result_equality_semantics(paper_graph):
+    result = KaleidoEngine(paper_graph).run(CliqueDiscovery(3))
+    assert result.value == 3
+    assert result.value == KaleidoEngine(paper_graph).run(CliqueDiscovery(3)).value
+
+
+def test_name():
+    assert CliqueDiscovery(5).name == "5-Clique"

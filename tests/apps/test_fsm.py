@@ -1,0 +1,106 @@
+"""Unit tests for frequent subgraph mining."""
+
+import pytest
+
+from repro import FrequentSubgraphMining, KaleidoEngine
+from repro.apps.fsm import edge_pattern_supports
+from repro.apps.reference import fsm_naive
+from repro.graph import from_edge_list
+from tests.conftest import random_labeled_graph
+
+
+def test_edge_pattern_supports(labeled_square):
+    supports = edge_pattern_supports(labeled_square)
+    # Square 0-1-2-3 with chord (0,2); labels [0,1,0,1]; edge label 0.
+    # (0,1)-labeled edges: (0,1),(1,2),(2,3),(3,0) → domains {0,2} × {1,3}.
+    assert supports[(0, 1, 0)].support == 2
+    # (0,0)-labeled edge: the chord (0,2) → both endpoints in both domains.
+    assert supports[(0, 0, 0)].support == 2
+
+
+def test_single_edge_fsm(labeled_square):
+    result = KaleidoEngine(labeled_square).run(
+        FrequentSubgraphMining(num_edges=1, support=2, exact_mni=True)
+    )
+    assert sorted(result.value.values()) == [2, 2]
+
+
+def test_matches_naive_exact_mni():
+    for seed in range(4):
+        g = random_labeled_graph(12, 22, 2, seed=40 + seed)
+        for num_edges in (1, 2, 3):
+            for support in (2, 3):
+                got = KaleidoEngine(g).run(
+                    FrequentSubgraphMining(num_edges, support, exact_mni=True)
+                )
+                expected = fsm_naive(g, num_edges, support)
+                assert sorted(got.value.values()) == sorted(expected.values()), (
+                    seed, num_edges, support,
+                )
+
+
+def test_threshold_mode_finds_same_frequent_set():
+    """Short-circuit counting caps reported supports at the threshold but
+    must identify exactly the same frequent patterns."""
+    for seed in range(3):
+        g = random_labeled_graph(14, 30, 2, seed=80 + seed)
+        exact = KaleidoEngine(g).run(
+            FrequentSubgraphMining(2, 3, exact_mni=True)
+        )
+        fast = KaleidoEngine(g).run(
+            FrequentSubgraphMining(2, 3, exact_mni=False)
+        )
+        assert set(exact.value) == set(fast.value)
+        for phash, support in fast.value.items():
+            assert support >= 3
+            assert exact.value[phash] >= support
+
+
+def test_high_support_yields_nothing():
+    g = random_labeled_graph(10, 15, 3, seed=5)
+    result = KaleidoEngine(g).run(FrequentSubgraphMining(2, 1000))
+    assert dict(result.value) == {}
+
+
+def test_infrequent_embeddings_pruned(labeled_square):
+    """The CSE top level shrinks when patterns are pruned."""
+    app = FrequentSubgraphMining(2, 2, exact_mni=True)
+    result = KaleidoEngine(labeled_square).run(app)
+    # Level sizes: 5 frequent edges, then pruned 2-edge embeddings.
+    assert result.level_sizes[0] == 5
+    assert result.level_sizes[1] <= 8
+
+
+def test_representatives_have_right_size(labeled_square):
+    result = KaleidoEngine(labeled_square).run(
+        FrequentSubgraphMining(2, 2, exact_mni=True)
+    )
+    for pattern in result.value.patterns.values():
+        assert pattern.num_edges == 2
+
+
+def test_frequent_method():
+    g = random_labeled_graph(12, 25, 2, seed=9)
+    result = KaleidoEngine(g).run(FrequentSubgraphMining(2, 2, exact_mni=True))
+    assert result.value.frequent(10**9) == {}
+    assert result.value.frequent(2) == dict(result.value)
+
+
+def test_validates_arguments():
+    with pytest.raises(ValueError):
+        FrequentSubgraphMining(0, 5)
+    with pytest.raises(ValueError):
+        FrequentSubgraphMining(2, 0)
+
+
+def test_anti_monotone_pruning_consistency():
+    """Frequent (k+1)-patterns only extend frequent k-patterns: mining with
+    a lower support never loses patterns found at a higher support."""
+    g = random_labeled_graph(14, 30, 2, seed=13)
+    high = KaleidoEngine(g).run(FrequentSubgraphMining(3, 4, exact_mni=True))
+    low = KaleidoEngine(g).run(FrequentSubgraphMining(3, 2, exact_mni=True))
+    assert set(high.value) <= set(low.value)
+
+
+def test_name():
+    assert FrequentSubgraphMining(2, 300).name == "3-FSM(s=300)"

@@ -1,0 +1,88 @@
+"""Unit tests for pattern matching (Figure 1)."""
+
+import pytest
+
+from repro import KaleidoEngine
+from repro.apps.matching import PatternMatching
+from repro.core import Pattern, are_isomorphic
+from repro.apps.reference import connected_vertex_sets
+from repro.graph import from_edge_list
+from tests.conftest import random_labeled_graph
+
+
+def _figure1_graph():
+    """Figure 1's input graph: vertices 1..5, two label colors."""
+    return from_edge_list(
+        [(1, 2), (1, 5), (2, 5), (2, 3), (3, 4), (3, 5), (4, 5)],
+        labels=[0, 1, 0, 1, 1, 0],  # vertex 0 unused; 2 and 5 share a color
+    )
+
+
+def test_figure1_pattern_matching():
+    """Figure 1: pattern p (a 3-chain with colored endpoints) has
+    embeddings a=(1,2,5)... — we verify against brute force below; here
+    the chain 1-2-5 must match."""
+    graph = _figure1_graph()
+    # Pattern: chain x - y - z with labels like (1, 0, 0): a triangle in
+    # Figure 1 is (1,2,5) with labels (1, 0, 0).
+    pattern = Pattern.from_vertex_embedding(graph, [1, 2, 5])
+    result = KaleidoEngine(graph).run(PatternMatching(pattern, materialize=True))
+    assert result.value.count >= 1
+    assert any(sorted(m) == [1, 2, 5] for m in result.value.matches)
+
+
+def _naive_matches(graph, pattern):
+    k = pattern.num_vertices
+    return sum(
+        1
+        for verts in connected_vertex_sets(graph, k)
+        if are_isomorphic(Pattern.from_vertex_embedding(graph, verts), pattern)
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_matches_naive(seed):
+    graph = random_labeled_graph(12, 26, 2, seed=seed)
+    sets3 = connected_vertex_sets(graph, 3)
+    if not sets3:
+        pytest.skip("degenerate random graph")
+    pattern = Pattern.from_vertex_embedding(graph, sets3[len(sets3) // 2])
+    got = KaleidoEngine(graph).run(PatternMatching(pattern)).value.count
+    assert got == _naive_matches(graph, pattern)
+
+
+def test_label_mismatch_yields_zero():
+    graph = from_edge_list([(0, 1), (1, 2)], labels=[0, 0, 0])
+    pattern = Pattern.from_adjacency([7, 7, 7], [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    assert KaleidoEngine(graph).run(PatternMatching(pattern)).value.count == 0
+
+
+def test_triangle_pattern_counts_triangles(paper_graph):
+    pattern = Pattern.from_adjacency([0] * 3, [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+    result = KaleidoEngine(paper_graph).run(PatternMatching(pattern))
+    assert result.value == 3
+
+
+def test_induced_semantics(paper_graph):
+    """A 3-chain pattern does NOT match vertex sets that induce triangles."""
+    chain = Pattern.from_adjacency([0] * 3, [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    result = KaleidoEngine(paper_graph).run(PatternMatching(chain))
+    assert result.value == 5  # 8 connected triples - 3 triangles
+
+
+def test_validates_pattern():
+    with pytest.raises(ValueError):
+        PatternMatching(Pattern((0,), 0))
+    disconnected = Pattern.from_adjacency([0] * 4, [[0, 1, 0, 0], [1, 0, 0, 0],
+                                                    [0, 0, 0, 1], [0, 0, 1, 0]])
+    with pytest.raises(ValueError):
+        PatternMatching(disconnected)
+
+
+def test_result_equality():
+    graph = _figure1_graph()
+    pattern = Pattern.from_vertex_embedding(graph, [1, 2, 5])
+    a = KaleidoEngine(graph).run(PatternMatching(pattern)).value
+    b = KaleidoEngine(graph).run(PatternMatching(pattern)).value
+    assert a == b
+    assert a == a.count

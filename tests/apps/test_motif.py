@@ -1,0 +1,70 @@
+"""Unit tests for motif counting."""
+
+import pytest
+
+from repro import KaleidoEngine, MotifCounting
+from repro.apps.motif import MOTIF_COUNTS
+from repro.apps.reference import count_motifs_naive
+from repro.graph import from_edge_list
+from tests.conftest import random_labeled_graph
+
+
+def test_paper_example_3motifs(paper_graph):
+    result = KaleidoEngine(paper_graph).run(MotifCounting(3))
+    # Section 5.1: 5 3-chains and 3 triangles.
+    assert sorted(result.value.values()) == [3, 5]
+    assert result.value.total == 8
+
+
+def test_motif_census_matches_naive():
+    for seed in range(4):
+        g = random_labeled_graph(13, 26, 3, seed=seed)
+        for k in (3, 4):
+            got = KaleidoEngine(g).run(MotifCounting(k)).value
+            expected = count_motifs_naive(g, k)
+            assert sorted(got.values()) == sorted(expected.values()), (seed, k)
+
+
+def test_labels_ignored():
+    g1 = from_edge_list([(0, 1), (1, 2), (0, 2)], labels=[0, 1, 2])
+    g2 = from_edge_list([(0, 1), (1, 2), (0, 2)], labels=[5, 5, 5])
+    r1 = KaleidoEngine(g1).run(MotifCounting(3)).value
+    r2 = KaleidoEngine(g2).run(MotifCounting(3)).value
+    assert dict(r1) == dict(r2)
+
+
+def test_motif_kind_counts_star():
+    """A star K1,4 has exactly C(4,2)=6 3-chains and nothing else."""
+    star = from_edge_list([(0, i) for i in range(1, 5)])
+    result = KaleidoEngine(star).run(MotifCounting(3))
+    assert list(result.value.values()) == [6]
+
+
+def test_4motif_kinds_on_rich_graph():
+    """A graph containing all six 4-motif shapes reports six hashes."""
+    g = random_labeled_graph(14, 40, 1, seed=3)
+    result = KaleidoEngine(g).run(MotifCounting(4))
+    assert len(result.value) <= MOTIF_COUNTS[4]
+    assert len(result.value) >= 5  # dense-ish random graph has most kinds
+
+
+def test_representatives_attached(paper_graph):
+    result = KaleidoEngine(paper_graph).run(MotifCounting(3))
+    assert set(result.value.patterns) == set(result.value)
+    for pattern in result.value.patterns.values():
+        assert pattern.num_vertices == 3
+
+
+def test_validates_k():
+    with pytest.raises(ValueError):
+        MotifCounting(2)
+
+
+def test_levels_stop_at_k_minus_1(paper_graph):
+    """k-Motif stores only k-1 CSE levels (Table 4's note)."""
+    result = KaleidoEngine(paper_graph).run(MotifCounting(4))
+    assert len(result.level_sizes) == 3
+
+
+def test_name():
+    assert MotifCounting(4).name == "4-Motif"

@@ -1,0 +1,66 @@
+"""Unit tests for the brute-force reference implementations themselves."""
+
+from repro.apps.reference import (
+    connected_edge_sets,
+    connected_vertex_sets,
+    count_cliques_naive,
+    count_motifs_naive,
+    count_triangles_naive,
+    fsm_naive,
+)
+from repro.graph import from_edge_list
+
+
+def test_connected_vertex_sets(paper_graph):
+    sets3 = connected_vertex_sets(paper_graph, 3)
+    assert len(sets3) == 8  # Figure 3: s13..s20
+    assert (1, 2, 3) in sets3
+    assert (0, 1, 2) not in sets3  # vertex 0 isolated
+
+
+def test_connected_vertex_sets_disconnected_graph():
+    g = from_edge_list([(0, 1), (2, 3)])
+    assert connected_vertex_sets(g, 2) == [(0, 1), (2, 3)]
+    assert connected_vertex_sets(g, 3) == []
+
+
+def test_connected_edge_sets(paper_graph):
+    sets1 = connected_edge_sets(paper_graph, 1)
+    assert len(sets1) == 7
+    sets2 = connected_edge_sets(paper_graph, 2)
+    # Each pair of adjacent edges once: count wedges = sum C(deg,2).
+    expected = sum(
+        d * (d - 1) // 2 for d in paper_graph.degrees().tolist()
+    )
+    assert len(sets2) == expected
+
+
+def test_count_motifs_naive_triangle_plus_chain(paper_graph):
+    counts = count_motifs_naive(paper_graph, 3)
+    assert sorted(counts.values()) == [3, 5]
+
+
+def test_count_cliques_and_triangles(paper_graph):
+    assert count_triangles_naive(paper_graph) == 3
+    assert count_cliques_naive(paper_graph, 3) == 3
+    assert count_cliques_naive(paper_graph, 4) == 0
+    assert count_cliques_naive(paper_graph, 2) == 7
+
+
+def test_fsm_naive_single_edge(labeled_square):
+    result = fsm_naive(labeled_square, 1, 2)
+    # Two frequent single-edge patterns: (0,1) edges (domains {0,2}/{1,3},
+    # support 2) and the (0,0) chord (both endpoints in both roles).
+    assert sorted(result.values()) == [2, 2]
+
+
+def test_fsm_naive_automorphic_positions():
+    # Path a-b with identical labels: support counts both orientations.
+    g = from_edge_list([(0, 1), (2, 3)], labels=[0, 0, 0, 0])
+    result = fsm_naive(g, 1, 2)
+    assert list(result.values()) == [4]
+
+
+def test_fsm_naive_threshold_filters():
+    g = from_edge_list([(0, 1), (1, 2)], labels=[0, 1, 0])
+    assert fsm_naive(g, 1, 3) == {}

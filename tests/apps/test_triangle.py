@@ -1,0 +1,36 @@
+"""Unit tests for triangle counting."""
+
+from repro import KaleidoEngine, TriangleCounting
+from repro.apps.reference import count_triangles_naive
+from repro.graph import from_edge_list
+from tests.conftest import random_labeled_graph
+
+
+def test_paper_example(paper_graph):
+    assert KaleidoEngine(paper_graph).run(TriangleCounting()).value == 3
+
+
+def test_triangle_free():
+    g = from_edge_list([(0, 1), (1, 2), (2, 3)])
+    assert KaleidoEngine(g).run(TriangleCounting()).value == 0
+
+
+def test_complete_graph():
+    k5 = from_edge_list([(i, j) for i in range(5) for j in range(i + 1, 5)])
+    assert KaleidoEngine(k5).run(TriangleCounting()).value == 10  # C(5,3)
+
+
+def test_matches_naive_on_random_graphs():
+    for seed in range(5):
+        g = random_labeled_graph(15, 35, 2, seed=seed)
+        got = KaleidoEngine(g).run(TriangleCounting()).value
+        assert got == count_triangles_naive(g), seed
+
+
+def test_disjoint_triangles():
+    g = from_edge_list([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    assert KaleidoEngine(g).run(TriangleCounting()).value == 2
+
+
+def test_app_name():
+    assert TriangleCounting().name == "TC"

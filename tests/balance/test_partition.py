@@ -1,0 +1,66 @@
+"""Unit tests for cost-driven partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.balance import balanced_parts, partition_quality
+from repro.errors import PlanError
+
+
+def test_parts_are_contiguous_cover():
+    costs = np.ones(10)
+    parts = balanced_parts(costs, 3)
+    assert parts[0][0] == 0
+    assert parts[-1][1] == 10
+    for (a, b), (c, d) in zip(parts, parts[1:]):
+        assert b == c
+
+
+def test_uniform_costs_even_split():
+    parts = balanced_parts(np.ones(12), 4)
+    sizes = [e - s for s, e in parts]
+    assert sizes == [3, 3, 3, 3]
+
+
+def test_skewed_costs_balance():
+    # One huge item at the front; remaining items tiny.
+    costs = np.array([100.0] + [1.0] * 99)
+    parts = balanced_parts(costs, 4)
+    quality = partition_quality(parts, costs)
+    # Each other part takes ~a third of the light tail rather than 25 items.
+    assert quality.imbalance < 2.1
+    even = [(0, 25), (25, 50), (50, 75), (75, 100)]
+    assert quality.max_cost <= partition_quality(even, costs).max_cost
+
+
+def test_zero_costs_degrade_to_even():
+    parts = balanced_parts(np.zeros(8), 2)
+    assert parts == [(0, 4), (4, 8)]
+
+
+def test_more_parts_than_items():
+    parts = balanced_parts(np.ones(2), 5)
+    assert parts[0][0] == 0 and parts[-1][1] == 2
+    assert sum(e - s for s, e in parts) == 2
+
+
+def test_empty_costs():
+    assert balanced_parts(np.zeros(0), 3) == [(0, 0)] * 3
+
+
+def test_invalid_num_parts():
+    with pytest.raises(PlanError):
+        balanced_parts(np.ones(3), 0)
+
+
+def test_quality_metrics():
+    quality = partition_quality([(0, 2), (2, 4)], np.array([1.0, 1.0, 3.0, 3.0]))
+    assert quality.part_costs == (2.0, 6.0)
+    assert quality.max_cost == 6.0
+    assert quality.mean_cost == 4.0
+    assert quality.imbalance == 1.5
+
+
+def test_quality_empty():
+    quality = partition_quality([], np.zeros(0))
+    assert quality.imbalance == 1.0

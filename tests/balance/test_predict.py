@@ -1,0 +1,73 @@
+"""Unit tests for candidate-size prediction (Figure 8)."""
+
+import numpy as np
+
+from repro.balance import merged_size, predict_edge_costs, predict_vertex_costs
+from repro.core import CSE
+from repro.core.explore import expand_edge_level, expand_vertex_level
+from repro.graph.edge_index import EdgeIndex
+
+
+def test_merged_size():
+    assert merged_size(np.array([1, 2, 3]), np.array([3, 4])) == 4
+    assert merged_size(np.array([], dtype=int), np.array([7, 7, 8])) == 2
+    assert merged_size(np.array([5]), np.array([], dtype=int)) == 1
+
+
+def test_vertex_costs_level1_are_degrees(paper_graph):
+    cse = CSE(np.arange(6))
+    costs = predict_vertex_costs(paper_graph, cse)
+    assert costs.tolist() == paper_graph.degrees().tolist()
+
+
+def test_vertex_costs_shape_and_positivity(paper_graph):
+    cse = CSE(np.arange(6))
+    expand_vertex_level(paper_graph, cse)
+    costs = predict_vertex_costs(paper_graph, cse)
+    assert costs.shape[0] == cse.size()
+    assert np.all(costs > 0)
+
+
+def test_vertex_costs_upper_bound_real_candidates(paper_graph):
+    """Prediction approximates the real candidate count from above-ish:
+    it merges the sibling slice (canonical candidates of the prefix) with
+    the full neighborhood of the last vertex, so it is never smaller than
+    the number of canonical extensions actually emitted."""
+    cse = CSE(np.arange(6))
+    expand_vertex_level(paper_graph, cse)
+    costs = predict_vertex_costs(paper_graph, cse)
+    expand_vertex_level(paper_graph, cse)
+    off = cse.top.off_array()
+    emitted = np.diff(off)
+    assert np.all(costs >= emitted)
+
+
+def test_figure8_semantics(paper_graph):
+    """Candidates of <1,2> = siblings({2,5}) ∪ N(2) = {2,5} ∪ {1,3,5}."""
+    cse = CSE(np.arange(6))
+    expand_vertex_level(paper_graph, cse)
+    costs = predict_vertex_costs(paper_graph, cse)
+    embeddings = [e for _, e in cse.iter_embeddings()]
+    idx = embeddings.index((1, 2))
+    assert costs[idx] == len({2, 5} | {1, 3, 5})
+
+
+def test_edge_costs_level1(paper_graph):
+    index = EdgeIndex(paper_graph)
+    cse = CSE(np.arange(index.num_edges))
+    costs = predict_edge_costs(index, cse)
+    assert costs.shape[0] == index.num_edges
+    # Each edge's candidates = union of both endpoints' incident lists.
+    for eid in range(index.num_edges):
+        u, v = index.endpoints(eid)
+        expected = len(set(index.incident_edges(u)) | set(index.incident_edges(v)))
+        assert costs[eid] == expected
+
+
+def test_edge_costs_deeper(paper_graph):
+    index = EdgeIndex(paper_graph)
+    cse = CSE(np.arange(index.num_edges))
+    expand_edge_level(paper_graph, index, cse)
+    costs = predict_edge_costs(index, cse)
+    assert costs.shape[0] == cse.size()
+    assert np.all(costs > 0)

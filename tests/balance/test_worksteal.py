@@ -1,0 +1,83 @@
+"""Unit tests for the work-stealing scheduler model."""
+
+import pytest
+
+from repro.balance import simulate_work_stealing, utilization_series
+
+
+def test_single_worker_serial():
+    schedule = simulate_work_stealing([1.0, 2.0, 3.0], 1)
+    assert schedule.span_seconds == pytest.approx(6.0)
+    assert schedule.busy_seconds == pytest.approx(6.0)
+    assert schedule.utilization == pytest.approx(1.0)
+
+
+def test_even_tasks_scale_ideally():
+    durations = [1.0] * 8
+    for workers in (2, 4, 8):
+        schedule = simulate_work_stealing(durations, workers)
+        assert schedule.span_seconds == pytest.approx(8.0 / workers)
+
+
+def test_skewed_tasks_bound_by_largest():
+    schedule = simulate_work_stealing([10.0, 1.0, 1.0, 1.0], 4)
+    assert schedule.span_seconds == pytest.approx(10.0)
+    assert schedule.utilization < 0.4
+
+
+def test_work_stealing_fills_idle_workers():
+    # Queue order: long task first; the other workers drain the tail.
+    schedule = simulate_work_stealing([4.0] + [1.0] * 8, 3)
+    busy = schedule.worker_busy()
+    assert max(busy) == pytest.approx(4.0)
+    assert schedule.span_seconds == pytest.approx(4.0)
+
+
+def test_deterministic():
+    a = simulate_work_stealing([3.0, 1.0, 2.0, 2.0], 2)
+    b = simulate_work_stealing([3.0, 1.0, 2.0, 2.0], 2)
+    assert [(i.worker, i.start, i.end) for i in a.intervals] == [
+        (i.worker, i.start, i.end) for i in b.intervals
+    ]
+
+
+def test_zero_and_negative_durations_clamped():
+    schedule = simulate_work_stealing([0.0, -1.0, 2.0], 2)
+    assert schedule.span_seconds == pytest.approx(2.0)
+
+
+def test_invalid_workers():
+    with pytest.raises(ValueError):
+        simulate_work_stealing([1.0], 0)
+
+
+def test_empty_tasks():
+    schedule = simulate_work_stealing([], 4)
+    assert schedule.span_seconds == 0.0
+    assert schedule.utilization == 1.0
+
+
+def test_utilization_series_full_load():
+    schedule = simulate_work_stealing([1.0] * 4, 2)
+    series = utilization_series([schedule], bins=4)
+    assert series
+    assert all(u == pytest.approx(1.0) for _, u in series)
+
+
+def test_utilization_series_tail_idle():
+    schedule = simulate_work_stealing([4.0, 1.0], 2)
+    series = utilization_series([schedule], bins=8)
+    # Early bins fully utilised, late bins half (one worker idle).
+    assert series[0][1] == pytest.approx(1.0)
+    assert series[-1][1] == pytest.approx(0.5)
+
+
+def test_utilization_series_multiphase():
+    s1 = simulate_work_stealing([1.0] * 2, 2)
+    s2 = simulate_work_stealing([2.0], 2)
+    series = utilization_series([s1, s2], bins=6)
+    assert series[0][1] > series[-1][1]
+
+
+def test_utilization_series_empty():
+    assert utilization_series([], bins=4) == []

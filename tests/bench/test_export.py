@@ -1,0 +1,24 @@
+"""Unit tests for CSV export of run records."""
+
+from repro.bench import RunRecord, read_records_csv, write_records_csv
+
+
+def test_roundtrip(tmp_path):
+    records = [
+        RunRecord("kaleido", "3-Motif", "mico", "k=3", 1.25, 1000, 0, 0),
+        RunRecord("rstream", "TC", "patent", "", 0.5, 2048, 10, 20),
+    ]
+    path = tmp_path / "records.csv"
+    write_records_csv(records, path)
+    loaded = read_records_csv(path)
+    assert len(loaded) == 2
+    assert loaded[0].system == "kaleido"
+    assert loaded[0].seconds == 1.25
+    assert loaded[1].io_write_bytes == 20
+    assert loaded[1].key() == records[1].key()
+
+
+def test_empty(tmp_path):
+    path = tmp_path / "empty.csv"
+    write_records_csv([], path)
+    assert read_records_csv(path) == []

@@ -1,0 +1,95 @@
+"""Unit tests for the bench harness (records, reporting, workloads)."""
+
+import pytest
+
+from repro.bench import (
+    RunRecord,
+    comparison_table,
+    format_series,
+    format_table,
+    geomean,
+    geomean_block,
+    speedup,
+)
+
+
+def _record(system, seconds, memory=100, app="3-Motif", dataset="mico", options="k=3"):
+    return RunRecord(
+        system=system, app=app, dataset=dataset, options=options,
+        seconds=seconds, memory_bytes=memory,
+    )
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 4.0]) == pytest.approx(4.0)  # nonpositive skipped
+
+
+def test_speedup():
+    base = _record("arabesque", 10.0)
+    ours = _record("kaleido", 2.0)
+    assert speedup(base, ours) == pytest.approx(5.0)
+    assert speedup(base, _record("kaleido", 0.0)) == float("inf")
+
+
+def test_record_properties():
+    record = _record("kaleido", 1.0, memory=5_000_000)
+    assert record.memory_mb == pytest.approx(5.0)
+    assert record.key() == ("3-Motif", "mico", "k=3")
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbbb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_series():
+    text = format_series("s", [(1.0, 1.0), (2.0, 3.0)], "x", "y")
+    assert "s [x -> y]" in text
+    assert "(1,1)" in text and "(2,3)" in text
+    assert format_series("empty", [], "x", "y") == "empty: (empty)"
+
+
+def test_comparison_table_and_ratios():
+    records = [
+        _record("kaleido", 1.0),
+        _record("arabesque", 5.0),
+        _record("rstream", 10.0),
+    ]
+    text = comparison_table(records, "Table")
+    assert "5.0x" in text and "10.0x" in text
+
+
+def test_geomean_block():
+    records = [
+        _record("kaleido", 1.0, memory=10),
+        _record("arabesque", 4.0, memory=100),
+        _record("kaleido", 2.0, memory=20, options="k=4"),
+        _record("arabesque", 16.0, memory=40, options="k=4"),
+    ]
+    text = geomean_block(records)
+    assert "vs arabesque" in text
+    # sqrt(4 * 8) ≈ 5.7
+    assert "5.7x" in text
+
+
+def test_workloads_runners(paper_graph):
+    from repro.bench import run_arabesque, run_kaleido, run_rstream
+
+    ka = run_kaleido(paper_graph, "tc", None, "paper")
+    ar = run_arabesque(paper_graph, "tc", None, "paper")
+    rs = run_rstream(paper_graph, "tc", None, "paper")
+    assert ka.value_digest == ar.value_digest == rs.value_digest == 3
+    assert ka.system == "kaleido"
+    assert rs.io_write_bytes > 0
+
+
+def test_workloads_unknown_kind(paper_graph):
+    from repro.bench import run_kaleido
+
+    with pytest.raises(ValueError):
+        run_kaleido(paper_graph, "pagerank", None, "paper")

@@ -1,0 +1,196 @@
+"""Unit tests for the EigenHash fingerprint (Algorithm 1, Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pattern, eigen_hash, faddeev_leverrier, weighted_adjacency
+from repro.core.eigenhash import (
+    HARARY_COSPECTRAL_6,
+    HARARY_COSPECTRAL_9,
+    PatternHasher,
+)
+from repro.core.isomorphism import are_isomorphic
+from repro.errors import EmbeddingSizeError
+
+
+# ----------------------------------------------------------------------
+# Faddeev-LeVerrier
+# ----------------------------------------------------------------------
+def test_flv_identity():
+    # char poly of I2 is (λ-1)^2 = λ^2 - 2λ + 1.
+    assert faddeev_leverrier(np.eye(2, dtype=int)) == (-2, 1)
+
+
+def test_flv_triangle():
+    # char poly of K3 adjacency: λ^3 - 3λ - 2.
+    mat = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+    assert faddeev_leverrier(mat) == (0, -3, -2)
+
+
+def test_flv_path():
+    # P3: λ^3 - 2λ.
+    mat = [[0, 1, 0], [1, 0, 1], [0, 1, 0]]
+    assert faddeev_leverrier(mat) == (0, -2, 0)
+
+
+def test_flv_matches_numpy_charpoly():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        k = int(rng.integers(2, 7))
+        mat = rng.integers(0, 3, size=(k, k))
+        mat = mat + mat.T  # symmetric integer matrix
+        ours = faddeev_leverrier(mat)
+        numpys = np.poly(mat.astype(float))[1:]
+        assert np.allclose([float(c) for c in ours], numpys, atol=1e-6)
+
+
+def test_flv_empty_and_single():
+    assert faddeev_leverrier(np.zeros((0, 0), dtype=int)) == ()
+    assert faddeev_leverrier([[5]]) == (-5,)
+
+
+def test_flv_rejects_non_square():
+    with pytest.raises(ValueError):
+        faddeev_leverrier(np.zeros((2, 3), dtype=int))
+
+
+# ----------------------------------------------------------------------
+# Weighted adjacency
+# ----------------------------------------------------------------------
+def test_weighted_adjacency_injective_over_label_pairs():
+    p = Pattern.from_adjacency([0, 1, 2], [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+    mat = weighted_adjacency(p)
+    weights = {mat[0, 1], mat[0, 2], mat[1, 2]}
+    assert len(weights) == 3  # three distinct label pairs, three weights
+
+
+def test_weighted_adjacency_nonzero_for_zero_labels():
+    p = Pattern.from_adjacency([0, 0], [[0, 1], [1, 0]])
+    assert weighted_adjacency(p)[0, 1] > 0
+
+
+def test_weighted_adjacency_symmetric():
+    p = Pattern.from_adjacency([3, 1, 2], [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    mat = weighted_adjacency(p)
+    assert (mat == mat.T).all()
+
+
+# ----------------------------------------------------------------------
+# EigenHash semantics
+# ----------------------------------------------------------------------
+def test_isomorphic_embeddings_same_hash(paper_graph):
+    # Figure 1: embeddings a=(1,2,5) and b=(2,3,5) are isomorphic triangles.
+    pa = Pattern.from_vertex_embedding(paper_graph, [1, 2, 5])
+    pb = Pattern.from_vertex_embedding(paper_graph, [2, 3, 5])
+    assert eigen_hash(pa) == eigen_hash(pb)
+
+
+def test_automorphic_representations_same_hash():
+    chain = Pattern.from_adjacency([5, 5, 5], [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    rotated = chain.permute([2, 1, 0])
+    assert eigen_hash(chain) == eigen_hash(rotated)
+
+
+def test_non_isomorphic_different_hash():
+    chain = Pattern.from_adjacency([0, 0, 0], [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    triangle = Pattern.from_adjacency([0, 0, 0], [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+    assert eigen_hash(chain) != eigen_hash(triangle)
+
+
+def test_labels_separate_hashes():
+    a = Pattern.from_adjacency([0, 0], [[0, 1], [1, 0]])
+    b = Pattern.from_adjacency([0, 1], [[0, 1], [1, 0]])
+    assert eigen_hash(a) != eigen_hash(b)
+
+
+def test_hash_deterministic_across_calls():
+    p = Pattern.from_adjacency([1, 2, 2], [[0, 1, 1], [1, 0, 0], [1, 0, 0]])
+    assert eigen_hash(p) == eigen_hash(p)
+
+
+def test_size_limit_enforced():
+    with pytest.raises(EmbeddingSizeError):
+        eigen_hash(Pattern((0,) * 9, 0))
+
+
+# ----------------------------------------------------------------------
+# Figure 6 counterexamples
+# ----------------------------------------------------------------------
+def test_harary_6_pair_is_cospectral_but_degree_separated():
+    a, b = HARARY_COSPECTRAL_6
+    poly_a = faddeev_leverrier(a.adjacency_matrix())
+    poly_b = faddeev_leverrier(b.adjacency_matrix())
+    assert poly_a == poly_b == (0, -7, -4, 7, 4, -1)  # the paper's polynomial
+    assert not are_isomorphic(a, b)
+    # Degree sequences differ, so EigenHash still separates the pair.
+    assert sorted(a.degree_sequence()) != sorted(b.degree_sequence())
+    assert eigen_hash(a) != eigen_hash(b)
+
+
+def test_harary_9_pair_defeats_eigenhash_exactly_at_the_bound():
+    a, b = HARARY_COSPECTRAL_9
+    poly_a = faddeev_leverrier(a.adjacency_matrix())
+    poly_b = faddeev_leverrier(b.adjacency_matrix())
+    assert poly_a == poly_b == (0, -8, 0, 19, 0, -14, 0, 2, 0)  # paper's polynomial
+    assert sorted(a.degree_sequence()) == sorted(b.degree_sequence())
+    assert not are_isomorphic(a, b)
+    # 9 vertices: the EigenHash guarantee no longer applies — the checker
+    # refuses rather than silently colliding.
+    with pytest.raises(EmbeddingSizeError):
+        eigen_hash(a)
+
+
+def test_exhaustive_no_collision_up_to_5_vertices():
+    """Corollary 1 (k < 6, unlabeled): spectrum alone separates everything.
+
+    Exhaustive over all graphs on 5 vertices: equal hash ⟺ isomorphic.
+    """
+    from itertools import combinations
+
+    patterns: list[Pattern] = []
+    cells = list(combinations(range(5), 2))
+    for mask in range(1 << len(cells)):
+        bits = 0
+        for t in range(len(cells)):
+            if mask >> t & 1:
+                i, j = cells[t]
+                from repro.core.pattern import triangle_index
+
+                bits |= 1 << triangle_index(i, j, 5)
+        patterns.append(Pattern((0,) * 5, bits))
+    by_hash: dict[int, Pattern] = {}
+    for p in patterns:
+        h = eigen_hash(p)
+        if h in by_hash:
+            assert are_isomorphic(by_hash[h], p)
+        else:
+            by_hash[h] = p
+
+
+# ----------------------------------------------------------------------
+# PatternHasher cache
+# ----------------------------------------------------------------------
+def test_hasher_cache_hits():
+    hasher = PatternHasher()
+    chain = Pattern.from_adjacency([5, 5, 5], [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+    h1 = hasher.hash_pattern(chain)
+    h2 = hasher.hash_pattern(chain.permute([2, 1, 0]))
+    assert h1 == h2
+    assert hasher.hits == 1 and hasher.misses == 1
+    assert len(hasher) == 1
+
+
+def test_hasher_representative():
+    hasher = PatternHasher()
+    tri = Pattern.from_adjacency([0, 0, 0], [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+    h = hasher.hash_pattern(tri)
+    rep = hasher.representative(h)
+    assert rep is not None and are_isomorphic(rep, tri)
+    assert hasher.representative(12345) is None
+
+
+def test_hasher_nbytes_grows():
+    hasher = PatternHasher()
+    before = hasher.nbytes
+    hasher.hash_pattern(Pattern((0, 0), 1))
+    assert hasher.nbytes > before

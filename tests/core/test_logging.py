@@ -1,0 +1,27 @@
+"""Engine emits structured progress through the standard logging module."""
+
+import logging
+
+from repro import KaleidoEngine, MotifCounting
+
+
+def test_info_summary_logged(paper_graph, caplog):
+    with caplog.at_level(logging.INFO, logger="repro.engine"):
+        KaleidoEngine(paper_graph).run(MotifCounting(3))
+    messages = [r.message for r in caplog.records]
+    assert any("3-Motif" in m and "wall" in m for m in messages)
+
+
+def test_debug_per_level_logged(paper_graph, caplog):
+    with caplog.at_level(logging.DEBUG, logger="repro.engine"):
+        KaleidoEngine(paper_graph).run(MotifCounting(4))
+    debug = [r for r in caplog.records if r.levelno == logging.DEBUG]
+    # One line per exploration iteration (4-Motif explores twice).
+    assert len(debug) >= 2
+    assert "embeddings" in debug[0].message
+
+
+def test_silent_by_default(paper_graph, caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.engine"):
+        KaleidoEngine(paper_graph).run(MotifCounting(3))
+    assert not caplog.records

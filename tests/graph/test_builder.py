@@ -1,0 +1,65 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph import GraphBuilder, from_edge_list
+
+
+def test_duplicate_edges_deduplicated():
+    g = from_edge_list([(0, 1), (1, 0), (0, 1)])
+    assert g.num_edges == 1
+
+
+def test_self_loop_rejected():
+    builder = GraphBuilder()
+    with pytest.raises(GraphConstructionError):
+        builder.add_edge(3, 3)
+
+
+def test_negative_vertex_rejected():
+    builder = GraphBuilder()
+    with pytest.raises(GraphConstructionError):
+        builder.add_edge(-1, 2)
+    with pytest.raises(GraphConstructionError):
+        builder.add_vertex(-5)
+
+
+def test_vertex_only_no_edges():
+    builder = GraphBuilder()
+    builder.add_vertex(4, label=2)
+    g = builder.build()
+    assert g.num_vertices == 5
+    assert g.label(4) == 2
+    assert g.num_edges == 0
+
+
+def test_labels_mapping_and_sequence():
+    b1 = GraphBuilder()
+    b1.add_edge(0, 1)
+    b1.set_labels({0: 3, 1: 4})
+    g1 = b1.build()
+    b2 = GraphBuilder()
+    b2.add_edge(0, 1)
+    b2.set_labels([3, 4])
+    g2 = b2.build()
+    assert g1.labels.tolist() == g2.labels.tolist() == [3, 4]
+
+
+def test_implicit_vertices_get_default_label():
+    g = from_edge_list([(0, 5)])
+    assert g.num_vertices == 6
+    assert g.label(3) == 0
+
+
+def test_adjacency_is_symmetric():
+    g = from_edge_list([(0, 1), (1, 2), (0, 2), (2, 3)])
+    for u in range(g.num_vertices):
+        for v in g.neighbors(u).tolist():
+            assert g.has_edge(v, u)
+
+
+def test_num_vertices_hint():
+    builder = GraphBuilder(num_vertices=10)
+    builder.add_edge(0, 1)
+    assert builder.build().num_vertices == 10

@@ -1,0 +1,66 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.errors import UnknownDatasetError
+from repro.graph import PAPER_STATS, dataset_names, load, patent_with_labels
+
+
+def test_names():
+    assert dataset_names() == ["citeseer", "mico", "patent", "youtube"]
+
+
+def test_unknown_dataset():
+    with pytest.raises(UnknownDatasetError):
+        load("nope")
+
+
+def test_unknown_profile():
+    with pytest.raises(UnknownDatasetError):
+        load("mico", "giant")
+
+
+def test_citeseer_bench_is_paper_scale():
+    g = load("citeseer", "bench")
+    assert g.num_vertices == PAPER_STATS["citeseer"]["vertices"]
+    assert g.num_labels == PAPER_STATS["citeseer"]["labels"]
+
+
+def test_label_counts_match_paper():
+    for name in dataset_names():
+        g = load(name, "tiny")
+        assert g.num_labels == PAPER_STATS[name]["labels"], name
+
+
+def test_load_cached():
+    assert load("mico", "tiny") is load("mico", "tiny")
+
+
+def test_no_isolated_vertices():
+    for name in dataset_names():
+        g = load(name, "tiny")
+        assert int(g.degrees().min()) > 0
+
+
+def test_patent_relabeling():
+    g37 = load("patent", "tiny")
+    g7 = patent_with_labels(7, "tiny")
+    assert g7.num_labels == 7
+    assert g7.num_edges == g37.num_edges
+    # Coarsening is consistent: same 37-label ⇒ same 7-label.
+    group = {}
+    for old, new in zip(g37.labels.tolist(), g7.labels.tolist()):
+        assert group.setdefault(old, new) == new
+
+
+def test_patent_relabel_identity():
+    g = load("patent", "tiny")
+    assert patent_with_labels(g.num_labels, "tiny") is g
+
+
+def test_avg_degree_in_ballpark():
+    # The scaled stand-ins should keep the paper's density character:
+    # mico densest, citeseer sparsest.
+    mico = load("mico", "bench").average_degree
+    citeseer = load("citeseer", "bench").average_degree
+    assert mico > 2 * citeseer

@@ -1,0 +1,64 @@
+"""Unit tests for the vertex → incident-edge index."""
+
+import pytest
+
+from repro.graph import from_edge_list
+from repro.graph.edge_index import EdgeIndex
+
+
+@pytest.fixture
+def index(paper_graph):
+    return EdgeIndex(paper_graph)
+
+
+def test_num_edges(index, paper_graph):
+    assert index.num_edges == paper_graph.num_edges
+
+
+def test_endpoints_ordered(index):
+    for eid in range(index.num_edges):
+        u, v = index.endpoints(eid)
+        assert u < v
+
+
+def test_incident_edges_cover_degree(index, paper_graph):
+    for v in range(paper_graph.num_vertices):
+        assert index.incident_edges(v).shape[0] == paper_graph.degree(v)
+
+
+def test_incident_edges_touch_vertex(index):
+    for v in range(6):
+        for eid in index.incident_edges(v).tolist():
+            assert v in index.endpoints(eid)
+
+
+def test_edge_id_roundtrip(index, paper_graph):
+    for u, v in paper_graph.edges():
+        eid = index.edge_id(u, v)
+        assert index.endpoints(eid) == (u, v)
+        assert index.edge_id(v, u) == eid
+
+
+def test_edge_id_missing(index):
+    with pytest.raises(KeyError):
+        index.edge_id(0, 1)
+
+
+def test_incident_sorted(index):
+    import numpy as np
+
+    for v in range(6):
+        ids = index.incident_edges(v)
+        assert np.all(np.diff(ids) > 0) or ids.shape[0] <= 1
+
+
+def test_nbytes(index):
+    assert index.nbytes > 0
+
+
+def test_edge_ids_are_lexicographic():
+    g = from_edge_list([(2, 3), (0, 1), (0, 2)])
+    index = EdgeIndex(g)
+    assert index.endpoints(0) == (0, 1)
+    assert index.endpoints(1) == (0, 2)
+    assert index.endpoints(2) == (2, 3)

@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph import (
+    chung_lu,
+    ensure_connected_core,
+    erdos_renyi,
+    preferential_attachment,
+    rmat,
+    zipf_labels,
+)
+
+
+def test_erdos_renyi_exact_edge_count():
+    g = erdos_renyi(50, 100, seed=1)
+    assert g.num_vertices == 50
+    assert g.num_edges == 100
+
+
+def test_determinism_same_seed():
+    a = chung_lu(100, 300, seed=9, num_labels=4)
+    b = chung_lu(100, 300, seed=9, num_labels=4)
+    assert list(a.edges()) == list(b.edges())
+    assert a.labels.tolist() == b.labels.tolist()
+
+
+def test_different_seed_differs():
+    a = chung_lu(100, 300, seed=9)
+    b = chung_lu(100, 300, seed=10)
+    assert list(a.edges()) != list(b.edges())
+
+
+def test_chung_lu_skewed_degrees():
+    g = chung_lu(500, 2000, seed=3)
+    degrees = np.sort(g.degrees())[::-1]
+    # Power-law-ish: the top vertex should dominate the median heavily.
+    assert degrees[0] >= 5 * max(1, np.median(degrees))
+
+
+def test_preferential_attachment_connected():
+    g = preferential_attachment(80, 2, seed=5)
+    assert g.num_edges >= 2 * (80 - 3)
+    assert np.all(g.degrees() > 0)
+
+
+def test_preferential_attachment_validates():
+    with pytest.raises(GraphConstructionError):
+        preferential_attachment(3, 5, seed=1)
+
+
+def test_rmat_shape():
+    g = rmat(7, 200, seed=2)
+    assert g.num_vertices == 128
+    assert 0 < g.num_edges <= 200
+
+
+def test_rmat_probs_must_sum():
+    with pytest.raises(GraphConstructionError):
+        rmat(5, 50, seed=1, probs=(0.5, 0.5, 0.5, 0.5))
+
+
+def test_zipf_labels_all_present():
+    labels = zipf_labels(200, 10, seed=4)
+    assert set(labels.tolist()) == set(range(10))
+
+
+def test_zipf_labels_skewed():
+    labels = zipf_labels(5000, 8, seed=4)
+    counts = np.bincount(labels, minlength=8)
+    assert counts[0] > counts[-1]
+
+
+def test_ensure_connected_core_removes_isolates():
+    g = erdos_renyi(60, 30, seed=11)
+    fixed = ensure_connected_core(g, seed=1)
+    assert np.all(fixed.degrees() > 0)
+    assert fixed.labels.tolist() == g.labels.tolist()
+
+
+def test_ensure_connected_core_noop_when_clean():
+    g = preferential_attachment(40, 2, seed=6)
+    assert ensure_connected_core(g) is g

@@ -1,0 +1,103 @@
+"""Unit tests for edge-list / labeled-adjacency IO."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_edge_list,
+    load_edge_list,
+    load_labeled_adjacency,
+    save_edge_list,
+    save_labeled_adjacency,
+)
+
+
+def test_edge_list_roundtrip(tmp_path, paper_graph):
+    path = tmp_path / "g.txt"
+    save_edge_list(paper_graph, path)
+    loaded = load_edge_list(path)
+    assert list(loaded.edges()) == list(paper_graph.edges())
+
+
+def test_edge_list_comments_and_blanks(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n\n% another comment\n0 1\n1 2\n")
+    g = load_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_edge_list_malformed_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1\njunk\n")
+    with pytest.raises(GraphFormatError, match="bad.txt:2"):
+        load_edge_list(path)
+
+
+def test_edge_list_non_integer(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphFormatError):
+        load_edge_list(path)
+
+
+def test_edge_list_skips_self_loops(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 0\n0 1\n")
+    assert load_edge_list(path).num_edges == 1
+
+
+def test_labeled_adjacency_roundtrip(tmp_path):
+    g = from_edge_list([(0, 1), (1, 2), (0, 2)], labels=[5, 6, 7])
+    path = tmp_path / "g.adj"
+    save_labeled_adjacency(g, path)
+    loaded = load_labeled_adjacency(path)
+    assert loaded.labels.tolist() == [5, 6, 7]
+    assert list(loaded.edges()) == list(g.edges())
+
+
+def test_labeled_adjacency_isolated_vertex(tmp_path):
+    path = tmp_path / "g.adj"
+    path.write_text("0 9\n1 8 2\n2 7 1\n")
+    g = load_labeled_adjacency(path)
+    assert g.num_vertices == 3
+    assert g.degree(0) == 0
+    assert g.label(0) == 9
+    assert g.has_edge(1, 2)
+
+
+def test_labeled_adjacency_malformed(tmp_path):
+    path = tmp_path / "bad.adj"
+    path.write_text("0\n")
+    with pytest.raises(GraphFormatError):
+        load_labeled_adjacency(path)
+
+
+def test_load_uses_filename_as_default_name(tmp_path):
+    path = tmp_path / "mygraph.txt"
+    path.write_text("0 1\n")
+    assert load_edge_list(path).name == "mygraph.txt"
+
+
+def test_edge_list_with_edge_labels_roundtrip(tmp_path):
+    g = from_edge_list([(0, 1), (1, 2), (0, 2)]).with_edge_labels([7, 8, 9])
+    path = tmp_path / "g.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path)
+    assert loaded.has_edge_labels
+    assert loaded.edge_label(0, 1) == 7
+    assert loaded.edge_label(1, 2) == 9  # lexicographic edge order: (1,2) last
+
+
+def test_edge_list_mixed_labeling_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1 5\n1 2\n")
+    with pytest.raises(GraphFormatError, match="mixed"):
+        load_edge_list(path)
+
+
+def test_edge_list_third_column_order(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("2 0 9\n0 1 4\n")
+    g = load_edge_list(path)
+    assert g.edge_label(0, 2) == 9
+    assert g.edge_label(1, 0) == 4

@@ -1,0 +1,44 @@
+"""Unit tests for the format sniffer."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import from_edge_list, load_auto, save_edge_list, save_labeled_adjacency, sniff_format
+
+
+def test_sniffs_edge_list(tmp_path, paper_graph):
+    path = tmp_path / "g.txt"
+    save_edge_list(paper_graph, path)
+    assert sniff_format(path) == "edges"
+    assert list(load_auto(path).edges()) == list(paper_graph.edges())
+
+
+def test_sniffs_adjacency(tmp_path):
+    g = from_edge_list([(0, 1), (1, 2), (0, 2)], labels=[4, 5, 6])
+    path = tmp_path / "g.adj"
+    save_labeled_adjacency(g, path)
+    assert sniff_format(path) == "adjacency"
+    loaded = load_auto(path)
+    assert loaded.labels.tolist() == [4, 5, 6]
+
+
+def test_two_field_unique_lines_prefer_edges(tmp_path):
+    # A star's edge list has unique first fields but no neighbor columns.
+    path = tmp_path / "star.txt"
+    path.write_text("0 9\n1 9\n2 9\n")
+    assert sniff_format(path) == "edges"
+    assert load_auto(path).num_edges == 3
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("# nothing\n")
+    assert sniff_format(path) == "edges"
+    assert load_auto(path).num_vertices == 0
+
+
+def test_non_integer_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a b c\n")
+    with pytest.raises(GraphFormatError):
+        sniff_format(path)

@@ -1,0 +1,77 @@
+"""Unit tests for graph statistics."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    chung_lu,
+    compute_stats,
+    degree_histogram,
+    erdos_renyi,
+    from_edge_list,
+    power_law_alpha,
+)
+
+
+def test_degree_histogram(paper_graph):
+    hist = degree_histogram(paper_graph)
+    assert hist == {0: 1, 2: 2, 3: 2, 4: 1}
+    assert sum(hist.values()) == paper_graph.num_vertices
+
+
+def test_stats_triangle_count(paper_graph):
+    stats = compute_stats(paper_graph, clustering_sample=None)
+    assert stats.triangles == 3
+    assert stats.num_vertices == 6
+    assert stats.num_edges == 7
+    assert stats.max_degree == 4
+
+
+def test_clustering_complete_graph():
+    k4 = from_edge_list([(i, j) for i in range(4) for j in range(i + 1, 4)])
+    stats = compute_stats(k4, clustering_sample=None)
+    assert stats.clustering_coefficient == pytest.approx(1.0)
+    assert stats.triangles == 4
+
+
+def test_clustering_triangle_free():
+    star = from_edge_list([(0, i) for i in range(1, 6)])
+    stats = compute_stats(star, clustering_sample=None)
+    assert stats.clustering_coefficient == 0.0
+    assert stats.triangles == 0
+
+
+def test_skew_distinguishes_power_law_from_uniform():
+    power = chung_lu(2000, 6000, seed=1)
+    uniform = erdos_renyi(2000, 6000, seed=1)
+    assert not math.isnan(power_law_alpha(power))
+    assert 1.0 < power_law_alpha(power) < 6.0
+    s_power = compute_stats(power, clustering_sample=50).degree_skew
+    s_uniform = compute_stats(uniform, clustering_sample=50).degree_skew
+    # The heavy tail shows up as a much larger max/mean ratio.
+    assert s_power > 2 * s_uniform
+
+
+def test_power_law_alpha_small_graph_nan(paper_graph):
+    assert math.isnan(power_law_alpha(paper_graph))
+
+
+def test_stats_rows_formatting(paper_graph):
+    rows = compute_stats(paper_graph).rows()
+    assert ("triangles", "3") in rows
+    assert len(rows) == 10
+
+
+def test_stats_empty_graph():
+    stats = compute_stats(from_edge_list([]))
+    assert stats.num_vertices == 0
+    assert stats.triangles == 0
+
+
+def test_degree_skew_on_standins():
+    from repro.graph import load
+
+    stats = compute_stats(load("patent", "tiny"))
+    # Power-law stand-ins must be skewed: hub degree >> mean degree.
+    assert stats.degree_skew > 3.0

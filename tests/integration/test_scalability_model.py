@@ -1,0 +1,46 @@
+"""Integration: the scheduler model reproduces Figure 14's scaling shapes."""
+
+import pytest
+
+from repro import FrequentSubgraphMining, KaleidoEngine, MotifCounting
+from repro.graph import datasets
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return datasets.load("patent", "tiny")
+
+
+def _simulated(graph, app, workers):
+    return KaleidoEngine(graph, workers=workers, parts_per_worker=4).run(app)
+
+
+def test_motif_scales_with_workers(graph):
+    """3-Motif exploration+aggregation span shrinks as workers grow."""
+    t1 = _simulated(graph, MotifCounting(3), 1).simulated_seconds
+    t4 = _simulated(graph, MotifCounting(3), 4).simulated_seconds
+    assert t4 < t1
+    # Not super-linear either.
+    assert t4 > t1 / 16
+
+
+def test_fsm_scales_sublinearly(graph):
+    """FSM's serial reduce keeps it from ideal scaling (Figure 14)."""
+    r1 = _simulated(graph, FrequentSubgraphMining(2, 3), 1)
+    r8 = _simulated(graph, FrequentSubgraphMining(2, 3), 8)
+    assert r8.simulated_seconds <= r1.simulated_seconds
+    speedup = r1.simulated_seconds / max(r8.simulated_seconds, 1e-9)
+    assert speedup < 8.0
+
+
+def test_fsm_memory_grows_with_workers(graph):
+    """Per-worker pattern maps make FSM memory grow with threads."""
+    m1 = _simulated(graph, FrequentSubgraphMining(2, 3), 1).peak_memory_bytes
+    m8 = _simulated(graph, FrequentSubgraphMining(2, 3), 8).peak_memory_bytes
+    assert m8 >= m1
+
+
+def test_schedule_utilization_reported(graph):
+    result = _simulated(graph, MotifCounting(3), 4)
+    assert 0 < result.utilization <= 1.0
+    assert result.schedules

@@ -1,0 +1,77 @@
+"""Property-based tests: mining results match brute force on random graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CliqueDiscovery,
+    FrequentSubgraphMining,
+    KaleidoEngine,
+    MotifCounting,
+    TriangleCounting,
+)
+from repro.apps.reference import (
+    count_cliques_naive,
+    count_motifs_naive,
+    count_triangles_naive,
+    fsm_naive,
+)
+from repro.graph import from_edge_list
+
+
+@st.composite
+def labeled_graphs(draw, max_n=11, max_labels=2):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible),
+            min_size=2,
+            max_size=min(22, len(possible)),
+            unique=True,
+        )
+    )
+    labels = [draw(st.integers(min_value=0, max_value=max_labels - 1)) for _ in range(n)]
+    return from_edge_list(edges, labels=labels)
+
+
+@given(labeled_graphs())
+@settings(max_examples=30, deadline=None)
+def test_triangle_count_matches_naive(graph):
+    assert KaleidoEngine(graph).run(TriangleCounting()).value == count_triangles_naive(graph)
+
+
+@given(labeled_graphs(), st.integers(min_value=3, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_clique_count_matches_naive(graph, k):
+    got = KaleidoEngine(graph).run(CliqueDiscovery(k)).value.count
+    assert got == count_cliques_naive(graph, k)
+
+
+@given(labeled_graphs(max_n=9))
+@settings(max_examples=20, deadline=None)
+def test_motif_census_matches_naive(graph):
+    got = KaleidoEngine(graph).run(MotifCounting(3)).value
+    expected = count_motifs_naive(graph, 3)
+    assert sorted(got.values()) == sorted(expected.values())
+
+
+@given(labeled_graphs(max_n=9), st.integers(min_value=1, max_value=2),
+       st.integers(min_value=2, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_fsm_matches_naive(graph, num_edges, support):
+    got = KaleidoEngine(graph).run(
+        FrequentSubgraphMining(num_edges, support, exact_mni=True)
+    )
+    expected = fsm_naive(graph, num_edges, support)
+    assert sorted(got.value.values()) == sorted(expected.values())
+
+
+@given(labeled_graphs(max_n=10))
+@settings(max_examples=15, deadline=None)
+def test_motif_total_equals_connected_sets(graph):
+    """Total motif occurrences == number of connected 3-vertex sets."""
+    from repro.apps.reference import connected_vertex_sets
+
+    got = KaleidoEngine(graph).run(MotifCounting(3)).value
+    assert got.total == len(connected_vertex_sets(graph, 3))

@@ -1,0 +1,94 @@
+"""Property-based tests on CSE structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CSE
+from repro.core.explore import expand_vertex_level
+from repro.graph import from_edge_list
+
+
+@st.composite
+def graph_and_depth(draw, max_n=12):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=2, max_size=min(20, len(possible)), unique=True)
+    )
+    depth = draw(st.integers(min_value=1, max_value=3))
+    return from_edge_list(edges), depth
+
+
+@given(graph_and_depth())
+@settings(max_examples=50, deadline=None)
+def test_random_access_matches_walk(case):
+    """embedding_at(level, pos) == the walk's pos-th embedding, always."""
+    graph, depth = case
+    cse = CSE(np.arange(graph.num_vertices))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    top = cse.depth - 1
+    for pos, emb in cse.iter_embeddings():
+        assert cse.embedding_at(top, pos) == emb
+
+
+@given(graph_and_depth())
+@settings(max_examples=50, deadline=None)
+def test_off_arrays_consistent(case):
+    """off arrays are monotone, span the level, and lengths interlock:
+    len(vert_l) == len(off_{l+1}) - 1 (Section 3.1.1)."""
+    graph, depth = case
+    cse = CSE(np.arange(graph.num_vertices))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    for l in range(1, cse.depth):
+        off = cse.levels[l].off_array()
+        assert off is not None
+        assert off[0] == 0
+        assert off[-1] == cse.levels[l].num_embeddings
+        assert np.all(np.diff(off) >= 0)
+        assert off.shape[0] == cse.levels[l - 1].num_embeddings + 1
+
+
+@given(graph_and_depth())
+@settings(max_examples=50, deadline=None)
+def test_embeddings_strictly_increase_prefix_rule(case):
+    """Every embedding starts at its minimum vertex (Definition 2 (i))."""
+    graph, depth = case
+    cse = CSE(np.arange(graph.num_vertices))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    for _, emb in cse.iter_embeddings():
+        assert emb[0] == min(emb)
+        assert len(set(emb)) == len(emb)
+
+
+@given(graph_and_depth(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_filter_then_walk_consistent(case, rnd):
+    """filter_top_level keeps exactly the masked embeddings, in order."""
+    graph, depth = case
+    cse = CSE(np.arange(graph.num_vertices))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    before = [emb for _, emb in cse.iter_embeddings()]
+    keep = np.array([rnd.random() < 0.5 for _ in before], dtype=bool)
+    cse.filter_top_level(keep)
+    after = [emb for _, emb in cse.iter_embeddings()]
+    assert after == [e for e, k in zip(before, keep) if k]
+
+
+@given(graph_and_depth())
+@settings(max_examples=30, deadline=None)
+def test_bytes_are_4_per_vert_8_per_off(case):
+    graph, depth = case
+    cse = CSE(np.arange(graph.num_vertices))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    expected = 0
+    for l, level in enumerate(cse.levels):
+        expected += 4 * level.num_embeddings
+        if l > 0:
+            expected += 8 * (cse.levels[l - 1].num_embeddings + 1)
+    assert cse.nbytes_in_memory == expected

@@ -1,0 +1,85 @@
+"""Unit tests for CSE checkpoint save/load."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CSE
+from repro.core.explore import expand_vertex_level
+from repro.errors import StorageError
+from repro.storage import PartStore, SpillingSink, load_cse, save_cse
+
+
+def _explored(graph, depth=2):
+    cse = CSE(np.arange(graph.num_vertices))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    return cse
+
+
+def test_roundtrip(tmp_path, paper_graph):
+    cse = _explored(paper_graph)
+    save_cse(cse, tmp_path)
+    loaded = load_cse(tmp_path)
+    assert loaded.depth == cse.depth
+    assert [e for _, e in loaded.iter_embeddings()] == [
+        e for _, e in cse.iter_embeddings()
+    ]
+
+
+def test_resume_exploration(tmp_path, paper_graph):
+    """Load a checkpoint and keep exploring — same result as uninterrupted."""
+    cse = _explored(paper_graph, depth=1)
+    save_cse(cse, tmp_path)
+    resumed = load_cse(tmp_path)
+    expand_vertex_level(paper_graph, resumed)
+    straight = _explored(paper_graph, depth=2)
+    assert [e for _, e in resumed.iter_embeddings()] == [
+        e for _, e in straight.iter_embeddings()
+    ]
+
+
+def test_checkpoint_spilled_level(tmp_path, paper_graph):
+    store = PartStore(str(tmp_path / "spill"))
+    cse = CSE(np.arange(paper_graph.num_vertices))
+    sink = SpillingSink(store, synchronous=True, prefetch=False)
+    expand_vertex_level(paper_graph, cse, parts=[(0, 3), (3, 6)], sink=sink)
+    save_cse(cse, tmp_path / "ckpt")
+    loaded = load_cse(tmp_path / "ckpt")
+    assert [e for _, e in loaded.iter_embeddings()] == [
+        e for _, e in cse.iter_embeddings()
+    ]
+
+
+def test_root_only_checkpoint(tmp_path):
+    cse = CSE([3, 1, 4])
+    save_cse(cse, tmp_path)
+    loaded = load_cse(tmp_path)
+    assert loaded.levels[0].vert_array().tolist() == [3, 1, 4]
+
+
+def test_missing_manifest(tmp_path):
+    with pytest.raises(StorageError):
+        load_cse(tmp_path)
+
+
+def test_bad_version(tmp_path):
+    (tmp_path / "cse_manifest.json").write_text(json.dumps({"version": 99}))
+    with pytest.raises(StorageError):
+        load_cse(tmp_path)
+
+
+def test_corrupt_level_file(tmp_path, paper_graph):
+    cse = _explored(paper_graph)
+    save_cse(cse, tmp_path)
+    os.remove(tmp_path / "level1_vert.npy")
+    with pytest.raises(StorageError):
+        load_cse(tmp_path)
+
+
+def test_overwrite_existing(tmp_path, paper_graph):
+    save_cse(_explored(paper_graph, 1), tmp_path)
+    save_cse(_explored(paper_graph, 2), tmp_path)
+    assert load_cse(tmp_path).depth == 3

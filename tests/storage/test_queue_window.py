@@ -1,0 +1,87 @@
+"""Unit tests for the WritingQueue and SlidingWindowReader."""
+
+import numpy as np
+import pytest
+
+from repro.storage import PartStore, SlidingWindowReader, WritingQueue
+
+
+@pytest.mark.parametrize("synchronous", [True, False])
+def test_queue_order_preserved(tmp_path, synchronous):
+    store = PartStore(str(tmp_path))
+    queue = WritingQueue(store, synchronous=synchronous)
+    for i in range(8):
+        queue.submit(np.full(4, i, dtype=np.int32))
+    handles = queue.close()
+    assert len(handles) == 8
+    for i, handle in enumerate(handles):
+        assert store.load(handle).tolist() == [i] * 4
+
+
+def test_queue_flush_mid_stream(tmp_path):
+    store = PartStore(str(tmp_path))
+    with WritingQueue(store) as queue:
+        queue.submit(np.arange(3, dtype=np.int32))
+        assert len(queue.flush()) == 1
+        queue.submit(np.arange(2, dtype=np.int32))
+        assert len(queue.flush()) == 2
+
+
+def test_queue_tracks_io(tmp_path):
+    store = PartStore(str(tmp_path))
+    with WritingQueue(store) as queue:
+        queue.submit(np.zeros(100, dtype=np.int32))
+    assert store.io.bytes_written > 400
+
+
+def test_window_reader_orders(tmp_path):
+    store = PartStore(str(tmp_path))
+    handles = [store.save(np.full(3, i, dtype=np.int32)) for i in range(5)]
+    for prefetch in (False, True):
+        reader = SlidingWindowReader(store, handles, prefetch=prefetch)
+        seen = [chunk.tolist() for chunk in reader]
+        assert seen == [[i] * 3 for i in range(5)]
+
+
+def test_window_reader_empty(tmp_path):
+    store = PartStore(str(tmp_path))
+    assert list(SlidingWindowReader(store, [], prefetch=True)) == []
+
+
+def test_window_reader_single_part(tmp_path):
+    store = PartStore(str(tmp_path))
+    handles = [store.save(np.arange(7, dtype=np.int32))]
+    chunks = list(SlidingWindowReader(store, handles, prefetch=True))
+    assert len(chunks) == 1 and chunks[0].tolist() == list(range(7))
+
+
+def test_window_reader_propagates_errors(tmp_path):
+    import os
+
+    store = PartStore(str(tmp_path))
+    handles = [store.save(np.arange(3, dtype=np.int32)) for _ in range(3)]
+    os.remove(handles[1].path)
+    reader = SlidingWindowReader(store, handles, prefetch=True)
+    with pytest.raises(Exception):
+        list(reader)
+
+
+def test_window_reader_hides_io(tmp_path):
+    """Prefetch keeps total wall time under serial load+consume time."""
+    import time
+
+    store = PartStore(str(tmp_path))
+    handles = [store.save(np.arange(50_000, dtype=np.int32)) for _ in range(4)]
+
+    def consume(reader):
+        total = 0
+        for chunk in reader:
+            time.sleep(0.02)  # simulated compute per window
+            total += int(chunk[0])
+        return total
+
+    # Only assert equivalence of results; timing assertions on shared CI
+    # boxes are flaky, the I/O overlap is demonstrated in the benchmarks.
+    a = consume(SlidingWindowReader(store, handles, prefetch=False))
+    b = consume(SlidingWindowReader(store, handles, prefetch=True))
+    assert a == b

@@ -1,0 +1,105 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import from_edge_list, save_edge_list, save_labeled_adjacency
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--profile", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "citeseer" in out and "youtube" in out
+
+
+def test_mine_tc_named_dataset(capsys):
+    assert main(["mine", "tc", "--dataset", "citeseer", "--profile", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "TC" in out
+
+
+def test_mine_json_output(capsys):
+    assert main(
+        ["mine", "clique", "-k", "3", "--dataset", "citeseer",
+         "--profile", "tiny", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["app"] == "3-Clique"
+    assert payload["value"] > 0
+    assert payload["wall_seconds"] > 0
+
+
+def test_mine_fsm_options(capsys):
+    assert main(
+        ["mine", "fsm", "--dataset", "citeseer", "--profile", "tiny",
+         "--edges", "1", "--support", "3", "--exact-mni", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["app"] == "2-FSM(s=3)"
+
+
+def test_mine_from_edge_file(tmp_path, capsys, paper_graph):
+    path = tmp_path / "g.txt"
+    save_edge_list(paper_graph, path)
+    assert main(["mine", "tc", "--dataset", str(path), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["value"] == 3
+
+
+def test_mine_from_adjacency_file(tmp_path, capsys):
+    g = from_edge_list([(0, 1), (1, 2), (0, 2)], labels=[1, 2, 3])
+    path = tmp_path / "g.adj"
+    save_labeled_adjacency(g, path)
+    assert main(
+        ["mine", "tc", "--dataset", str(path), "--format", "adjacency", "--json"]
+    ) == 0
+    assert json.loads(capsys.readouterr().out)["value"] == 1
+
+
+def test_mine_spill_options(tmp_path, capsys):
+    assert main(
+        ["mine", "motif", "-k", "3", "--dataset", "citeseer", "--profile", "tiny",
+         "--storage", "spill-last", "--spill-dir", str(tmp_path), "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["io_bytes_written"] > 0
+
+
+def test_generate_command(tmp_path, capsys):
+    path = tmp_path / "gen.txt"
+    assert main(
+        ["generate", str(path), "--vertices", "50", "--edges", "120",
+         "--labels", "3", "--seed", "9"]
+    ) == 0
+    assert path.exists()
+    from repro.graph import load_edge_list
+
+    g = load_edge_list(path)
+    assert g.num_edges == 120
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["mine", "pagerank"])
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "--dataset", "citeseer", "--profile", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "triangles" in out and "power-law alpha" in out
+
+
+def test_approx_command(capsys):
+    assert main(
+        ["approx", "--dataset", "citeseer", "--profile", "tiny",
+         "-k", "3", "--samples", "200"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "approximate 3-motif census" in out
+    assert "[" in out  # confidence interval printed

@@ -1,0 +1,58 @@
+"""Smoke tests: the example programs run and produce sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_tiny():
+    out = _run("quickstart.py", "citeseer", "tiny")
+    assert "Triangles:" in out
+    assert "3-motif census" in out
+    assert "Frequent 2-edge patterns" in out
+
+
+def test_fraud_cliques():
+    out = _run("fraud_cliques.py")
+    assert "planted rings recovered: 3/3" in out
+
+
+def test_pattern_query():
+    out = _run("pattern_query.py")
+    assert "(1, 2, 5)" in out
+    assert "(2, 3, 5)" in out
+
+
+@pytest.mark.slow
+def test_out_of_core_demo():
+    out = _run("out_of_core_demo.py")
+    assert "identical motif censuses" in out
+
+
+def test_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text(encoding="utf-8")
+        assert text.lstrip().startswith('"""'), script.name
+        assert "def main" in text or "__main__" in text, script.name
+
+
+def test_edge_labeled_fsm():
+    out = _run("edge_labeled_fsm.py")
+    assert "card" in out and "typed structure" in out

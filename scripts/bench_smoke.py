@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Pipeline smoke benchmark: one small motif workload, both executors.
+
+Runs 3-motif counting on the tiny citeseer stand-in under the serial
+(work-stealing replay) executor and the real thread-pool executor, and
+writes a ``BENCH_pipeline.json`` record with wall seconds, peak bytes,
+and utilization per executor plus the per-stage phase spans.  Meant as a
+cheap CI guard that the plan → execute → aggregate pipeline stays wired
+up for every executor, not as a performance measurement.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--out BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import KaleidoEngine, MotifCounting  # noqa: E402
+from repro.core.executor import EXECUTOR_CHOICES  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+
+
+def run_one(graph, executor: str) -> dict:
+    with KaleidoEngine(graph, workers=4, executor=executor) as engine:
+        result = engine.run(MotifCounting(3))
+    return {
+        "executor": result.extra["executor"],
+        "wall_seconds": result.wall_seconds,
+        "peak_bytes": result.peak_memory_bytes,
+        "utilization": result.utilization,
+        "phase_spans": result.phase_spans,
+        "pattern_counts": sorted(result.value.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pipeline.json")
+    parser.add_argument("--dataset", default="citeseer")
+    args = parser.parse_args(argv)
+
+    graph = datasets.load(args.dataset, "tiny")
+    runs = [run_one(graph, executor) for executor in EXECUTOR_CHOICES]
+
+    counts = {tuple(run["pattern_counts"]) for run in runs}
+    if len(counts) != 1:
+        print("FAIL: executors disagree on pattern counts", file=sys.stderr)
+        for run in runs:
+            print(f"  {run['executor']}: {run['pattern_counts']}", file=sys.stderr)
+        return 1
+
+    record = {
+        "benchmark": "pipeline_smoke",
+        "workload": {"app": "motif", "k": 3, "dataset": args.dataset, "profile": "tiny"},
+        "runs": runs,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    for run in runs:
+        print(
+            f"{run['executor']:>10}: {run['wall_seconds']:.3f}s wall, "
+            f"{run['peak_bytes']} peak bytes, {run['utilization']:.2f} utilization"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,8 +29,13 @@ from .core import (
     KaleidoEngine,
     MiningApplication,
     MiningResult,
+    PartExecutor,
     Pattern,
     PatternHasher,
+    Planner,
+    SerialExecutor,
+    SimulatedSchedule,
+    ThreadedExecutor,
     eigen_hash,
 )
 from .graph import Graph, GraphBuilder, datasets
@@ -49,6 +54,11 @@ __all__ = [
     "KaleidoEngine",
     "MiningApplication",
     "MiningResult",
+    "Planner",
+    "PartExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "SimulatedSchedule",
     "MotifCounting",
     "CliqueDiscovery",
     "TriangleCounting",

@@ -116,10 +116,21 @@ def _options_str(kind: str, option: Any) -> str:
 
 
 def run_kaleido(
-    graph: Graph, kind: str, option: Any, dataset: str, **engine_kwargs
+    graph: Graph,
+    kind: str,
+    option: Any,
+    dataset: str,
+    executor: str = "serial",
+    **engine_kwargs,
 ) -> RunRecord:
+    """Run one Kaleido workload.
+
+    ``executor`` selects the part executor ("serial" keeps the
+    work-stealing replay every figure benchmark is calibrated on;
+    "threads" runs parts on a real thread pool).
+    """
     app = _make_app(kind, option)
-    with KaleidoEngine(graph, **engine_kwargs) as engine:
+    with KaleidoEngine(graph, executor=executor, **engine_kwargs) as engine:
         result = engine.run(app)
     return _record("kaleido", dataset, _options_str(kind, option), result)
 

@@ -24,6 +24,7 @@ from .apps import (
     TriangleCounting,
 )
 from .core.engine import KaleidoEngine
+from .core.executor import EXECUTOR_CHOICES
 from .graph import (
     PAPER_STATS,
     chung_lu,
@@ -59,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--support", type=int, default=5, help="FSM MNI support")
     mine.add_argument("--exact-mni", action="store_true", help="exact MNI counting")
     mine.add_argument("--workers", type=int, default=1)
+    mine.add_argument(
+        "--executor",
+        default="serial",
+        choices=list(EXECUTOR_CHOICES),
+        help="part executor: 'serial' (work-stealing replay, default) or "
+        "'threads' (real thread pool of --workers threads)",
+    )
     mine.add_argument("--memory-limit-mb", type=float, default=None)
     mine.add_argument("--spill-dir", default=None)
     mine.add_argument(
@@ -128,12 +136,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         storage_mode=args.storage,
         spill_dir=args.spill_dir,
         use_prediction=not args.no_prediction,
+        executor=args.executor,
     ) as engine:
         result = engine.run(_make_app(args))
     if args.json:
         payload = {
             "app": result.app_name,
             "graph": graph.name,
+            "executor": result.extra.get("executor"),
             "wall_seconds": result.wall_seconds,
             "simulated_seconds": result.simulated_seconds,
             "peak_memory_bytes": result.peak_memory_bytes,

@@ -11,16 +11,28 @@ from .canonical import (
 )
 from .cse import CSE, InMemoryLevel, Level
 from .eigenhash import PatternHasher, eigen_hash, faddeev_leverrier, weighted_adjacency
-from .engine import KaleidoEngine
+from .engine import KaleidoEngine, aggregate_part
+from .executor import (
+    ExecutionReport,
+    PartExecutor,
+    SerialExecutor,
+    SimulatedSchedule,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from .explore import (
     ExpansionStats,
     InMemorySink,
     LevelSink,
+    PartExpansion,
     canonical_extensions,
     even_parts,
     expand_edge_level,
+    expand_edge_part,
     expand_vertex_level,
+    expand_vertex_part,
 )
+from .plan import AggregatePlan, LevelPlan, Planner
 from .isomorphism import are_isomorphic, automorphism_count, canonical_key
 from .pattern import MAX_EIGENHASH_VERTICES, Pattern, triangle_index
 
@@ -46,11 +58,24 @@ __all__ = [
     "edge_extends_canonically",
     "expand_vertex_level",
     "expand_edge_level",
+    "expand_vertex_part",
+    "expand_edge_part",
     "canonical_extensions",
     "even_parts",
     "ExpansionStats",
+    "PartExpansion",
     "LevelSink",
     "InMemorySink",
+    "Planner",
+    "LevelPlan",
+    "AggregatePlan",
+    "PartExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "SimulatedSchedule",
+    "ExecutionReport",
+    "resolve_executor",
+    "aggregate_part",
     "KaleidoEngine",
     "MiningApplication",
     "MiningResult",

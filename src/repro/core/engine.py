@@ -1,31 +1,34 @@
-"""The Kaleido engine: exploration + aggregation over CSE (Sections 3-4).
+"""The Kaleido engine: a plan → execute → aggregate pipeline (Sections 3-5).
 
 One :class:`KaleidoEngine` instance runs one mining application over one
-graph.  Responsibilities:
+graph.  Each exploration iteration flows through three explicit stages:
 
-* drive the vertex- or edge-induced exploration level by level, applying
-  the canonical filter and the application's EmbeddingFilter;
-* decide, per level, whether the new level lives in memory or spills to
-  disk (the hybrid storage policy, driven by the memory budget);
-* partition each level's work by the candidate-size prediction and replay
-  the measured part times through the work-stealing scheduler model to
-  obtain simulated parallel runtimes and utilization;
-* run the pattern aggregation phase through the configured isomorphism
-  fingerprint (EigenHash by default, a bliss-like canonical labeler for
-  the Figure-12 comparison);
-* account every live data structure in a :class:`MemoryMeter`.
+* **Plan** (:class:`repro.core.plan.Planner`): predict candidate sizes,
+  cut the level into balanced parts, check the ``max_embeddings`` guard,
+  and decide whether the new level lives in memory or spills to disk
+  (the hybrid storage policy, driven by the memory budget).
+* **Execute** (:mod:`repro.core.executor`): run the per-part expansion
+  functions through the configured :class:`PartExecutor` — serial with
+  the work-stealing replay by default (the modelled-parallel behaviour
+  every benchmark is built on), or a real thread pool — and merge the
+  part results deterministically.
+* **Aggregate**: run the application's Mapper over the top level in the
+  same part-based shape through the same executor, then the serial
+  Reducer.
+
+Every live data structure is accounted in a :class:`MemoryMeter`, and the
+per-stage wall times are reported in ``MiningResult.phase_spans`` as
+``plan_seconds`` / ``execute_seconds`` / ``aggregate_seconds``.
 """
 
 from __future__ import annotations
 
 import logging
 import time
+from functools import partial
+from itertools import islice
 
-import numpy as np
-
-from ..balance.partition import balanced_parts
-from ..balance.predict import predict_edge_costs, predict_vertex_costs
-from ..balance.worksteal import Schedule, simulate_work_stealing
+from ..balance.worksteal import Schedule
 from ..graph.edge_index import EdgeIndex
 from ..graph.graph import Graph
 from ..storage.hybrid import StoragePolicy
@@ -34,11 +37,28 @@ from ..storage.spill import PartStore
 from .api import EngineContext, MiningApplication, MiningResult, PatternMap
 from .cse import CSE
 from .eigenhash import PatternHasher
-from .explore import even_parts, expand_edge_level, expand_vertex_level
+from .executor import PartExecutor, resolve_executor
+from .explore import expand_edge_level, expand_vertex_level
+from .plan import Planner
 
-__all__ = ["KaleidoEngine"]
+__all__ = ["KaleidoEngine", "aggregate_part"]
 
 logger = logging.getLogger("repro.engine")
+
+
+def aggregate_part(
+    app: MiningApplication, ctx: EngineContext, embeddings: list[tuple[int, ...]]
+) -> PatternMap:
+    """Run the AggregatingMapper over one part's embeddings.
+
+    Pure per-part function (each part owns its own PatternMap — the
+    paper's FSM avoids a concurrent hashmap the same way), so mapper
+    parts go through the same executor seam as expansion parts.
+    """
+    pmap: PatternMap = {}
+    for emb in embeddings:
+        app.map_embedding(ctx, emb, pmap)
+    return pmap
 
 
 class KaleidoEngine:
@@ -49,8 +69,8 @@ class KaleidoEngine:
     graph:
         The input graph.
     workers:
-        Modelled worker count; part timings are replayed through the
-        work-stealing schedule for this many workers.
+        Worker count: the modelled worker count for the work-stealing
+        replay, and the thread-pool size for the ``"threads"`` executor.
     hasher:
         Isomorphism fingerprinter; defaults to the paper's EigenHash.
         Pass ``repro.baselines.BlissLikeHasher()`` for the Fig.-12 study.
@@ -64,10 +84,16 @@ class KaleidoEngine:
         Partition exploration work by predicted candidate sizes (paper
         default) or by plain embedding counts (the Fig.-17 baseline).
     parts_per_worker:
-        Task granularity for the scheduler model.
+        Task granularity for the executor and the scheduler model.
     synchronous_io / prefetch:
         Writing-queue and sliding-window behaviour (async + prefetch by
         default, like the paper; tests turn them off for determinism).
+    executor:
+        ``"serial"`` (default: serial execution replayed through the
+        work-stealing model), ``"threads"`` (a real thread pool of
+        ``workers`` threads), or any :class:`PartExecutor` instance.
+        Part results are merged in part order, so every executor produces
+        identical mining results.
     """
 
     def __init__(
@@ -83,6 +109,7 @@ class KaleidoEngine:
         synchronous_io: bool = False,
         prefetch: bool = True,
         max_embeddings: int | None = None,
+        executor: "str | PartExecutor" = "serial",
     ) -> None:
         if storage_mode not in ("auto", "memory", "spill-last"):
             raise ValueError(f"unknown storage_mode {storage_mode!r}")
@@ -102,6 +129,7 @@ class KaleidoEngine:
         #: many embeddings.  Exploration is exponential in depth; a guard
         #: beats an out-of-control run in production settings.
         self.max_embeddings = max_embeddings
+        self.executor = resolve_executor(executor)
         self._store: PartStore | None = (
             PartStore(spill_dir) if spill_dir is not None else None
         )
@@ -113,6 +141,15 @@ class KaleidoEngine:
             prefetch=prefetch,
             force_spill_last=(storage_mode == "spill-last"),
         )
+        self.planner = Planner(
+            graph,
+            self._policy,
+            workers=workers,
+            parts_per_worker=parts_per_worker,
+            use_prediction=use_prediction,
+            storage_mode=storage_mode,
+            max_embeddings=max_embeddings,
+        )
 
     # ------------------------------------------------------------------
     def run(self, app: MiningApplication) -> MiningResult:
@@ -121,6 +158,9 @@ class KaleidoEngine:
         schedules: list[Schedule] = []
         schedule_phases: list[str] = []
         phase_spans: dict[str, float] = {}
+        plan_seconds = 0.0
+        execute_seconds = 0.0
+        aggregate_seconds = 0.0
 
         ctx = EngineContext(graph=self.graph, engine=self)
         self.meter.set("graph", self.graph.nbytes)
@@ -140,39 +180,39 @@ class KaleidoEngine:
         explore_span = 0.0
         aggregated = False
         for _ in range(app.iterations()):
-            costs = self._predict_costs(ctx, cse)
-            if (
-                self.max_embeddings is not None
-                and costs is not None
-                and int(costs.sum()) > self.max_embeddings
-            ):
-                from ..errors import PlanError
+            # Stage 1: plan — costs, part bounds, guard, storage decision.
+            stage_started = time.perf_counter()
+            plan = self.planner.plan_level(ctx, cse)
+            plan_seconds += time.perf_counter() - stage_started
 
-                raise PlanError(
-                    f"next level predicted at {int(costs.sum()):,} embeddings, "
-                    f"above the max_embeddings guard of {self.max_embeddings:,}"
-                )
-            num_parts = max(1, self.workers * self.parts_per_worker)
-            if costs is not None:
-                parts = balanced_parts(costs, num_parts)
-                predicted_entries = int(costs.sum())
-            else:
-                parts = even_parts(cse.size(), num_parts)
-                predicted_entries = cse.size() * max(1, int(self.graph.average_degree))
-            sink = None
-            if self.storage_mode != "memory":
-                sink = self._policy.sink_for_next_level(cse, predicted_entries)
+            # Stage 2: execute — per-part expansion through the executor.
+            stage_started = time.perf_counter()
             if app.induced == "vertex":
                 stats = expand_vertex_level(
-                    self.graph, cse, app.embedding_filter, parts=parts, sink=sink
+                    self.graph,
+                    cse,
+                    app.embedding_filter,
+                    parts=plan.part_bounds,
+                    sink=plan.sink,
+                    executor=self.executor,
+                    workers=self.workers,
                 )
             else:
                 assert ctx.edge_index is not None
                 stats = expand_edge_level(
-                    self.graph, ctx.edge_index, cse,
-                    app.embedding_filter, parts=parts, sink=sink,
+                    self.graph,
+                    ctx.edge_index,
+                    cse,
+                    app.embedding_filter,
+                    parts=plan.part_bounds,
+                    sink=plan.sink,
+                    executor=self.executor,
+                    workers=self.workers,
                 )
-            schedule = simulate_work_stealing(stats.part_seconds, self.workers)
+            execute_seconds += time.perf_counter() - stage_started
+
+            schedule = stats.schedule
+            assert schedule is not None
             schedules.append(schedule)
             schedule_phases.append("explore")
             explore_span += schedule.span_seconds
@@ -186,11 +226,12 @@ class KaleidoEngine:
             )
 
             if app.aggregate_every_iteration:
-                reduced, agg_span = self._aggregate(
+                reduced, agg_span, agg_wall = self._aggregate(
                     ctx, app, cse, schedules, schedule_phases
                 )
                 aggregated = True
                 explore_span += agg_span
+                aggregate_seconds += agg_wall
                 mask = app.prune(ctx, cse, reduced)
                 if mask is not None:
                     cse.filter_top_level(mask)
@@ -202,10 +243,16 @@ class KaleidoEngine:
 
         # ---------------- Phase 2: pattern aggregation ------------------
         if not app.aggregate_every_iteration or not aggregated:
-            reduced, agg_span = self._aggregate(
+            reduced, agg_span, agg_wall = self._aggregate(
                 ctx, app, cse, schedules, schedule_phases
             )
             phase_spans["aggregate"] = agg_span
+            aggregate_seconds += agg_wall
+
+        simulated_seconds = sum(phase_spans.values())
+        phase_spans["plan_seconds"] = plan_seconds
+        phase_spans["execute_seconds"] = execute_seconds
+        phase_spans["aggregate_seconds"] = aggregate_seconds
 
         value = app.finalize(ctx, cse, reduced)
         wall = time.perf_counter() - started
@@ -220,7 +267,7 @@ class KaleidoEngine:
             value=value,
             pattern_map=reduced,
             wall_seconds=wall,
-            simulated_seconds=sum(phase_spans.values()),
+            simulated_seconds=simulated_seconds,
             peak_memory_bytes=self.meter.peak_bytes,
             level_sizes=level_sizes,
             phase_spans=phase_spans,
@@ -230,26 +277,24 @@ class KaleidoEngine:
             schedules=schedules,
             utilization=(
                 sum(s.busy_seconds for s in schedules)
-                / max(1e-12, sum(s.span_seconds for s in schedules) * self.workers)
+                / max(
+                    1e-12,
+                    sum(s.span_seconds * s.num_workers for s in schedules),
+                )
             ),
             extra={
                 "schedule_phases": schedule_phases,
+                "executor": self.executor.name,
                 "hasher_cache_entries": len(self.hasher)
                 if hasattr(self.hasher, "__len__")
                 else None,
                 "spilled_levels": self._policy.spilled_levels,
+                "demoted_levels": self._policy.demoted_levels,
             },
         )
         return result
 
     # ------------------------------------------------------------------
-    def _predict_costs(self, ctx: EngineContext, cse: CSE) -> np.ndarray | None:
-        if not self.use_prediction:
-            return None
-        if ctx.edge_index is not None:
-            return predict_edge_costs(ctx.edge_index, cse)
-        return predict_vertex_costs(self.graph, cse)
-
     def _aggregate(
         self,
         ctx: EngineContext,
@@ -257,54 +302,31 @@ class KaleidoEngine:
         cse: CSE,
         schedules: list[Schedule],
         schedule_phases: list[str],
-    ) -> tuple[PatternMap, float]:
-        """Run the Mapper over the top level in parts, then the Reducer.
+    ) -> tuple[PatternMap, float, float]:
+        """Plan mapper parts, run them through the executor, then reduce.
 
-        Per-thread PatternMaps are modelled faithfully: each part owns its
-        own map (the paper's FSM avoids a concurrent hashmap the same way),
-        so accounted memory grows with the worker count and the final merge
-        is serial — which is exactly why FSM scales sublinearly (Fig. 14).
+        Returns ``(reduced, simulated span, wall seconds)``.  Per-part
+        PatternMaps are modelled faithfully: each part owns its own map,
+        so accounted memory grows with the worker count and the final
+        merge is serial — which is exactly why FSM scales sublinearly
+        (Fig. 14).
         """
-        num_parts = max(1, self.workers * self.parts_per_worker)
-        # Parts follow the candidate-size prediction only when the app's
-        # Mapper cost tracks candidate counts (motif counting expands
-        # every embedding on the fly — the Figure-17 balance effect);
-        # otherwise per-embedding cost is uniform and an even count split
-        # is the better balance.
-        costs = (
-            self._predict_costs(ctx, cse)
-            if app.mapper_cost_tracks_candidates
-            else None
-        )
-        if costs is not None:
-            bounds = balanced_parts(costs, num_parts)
-        else:
-            bounds = even_parts(cse.size(), num_parts)
-        pmaps: list[PatternMap] = []
-        durations: list[float] = []
-        part_iter = iter(bounds)
-        current = next(part_iter, None)
-        pmap: PatternMap = {}
-        part_started = time.perf_counter()
-        for pos, emb in cse.iter_embeddings():
-            while current is not None and pos >= current[1]:
-                durations.append(time.perf_counter() - part_started)
-                pmaps.append(pmap)
-                pmap = {}
-                part_started = time.perf_counter()
-                current = next(part_iter, None)
-            app.map_embedding(ctx, emb, pmap)
-        while current is not None:
-            durations.append(time.perf_counter() - part_started)
-            pmaps.append(pmap)
-            pmap = {}
-            part_started = time.perf_counter()
-            current = next(part_iter, None)
+        wall_started = time.perf_counter()
+        plan = self.planner.plan_aggregate(ctx, app, cse)
+        emb_iter = iter(cse.iter_embeddings())
+
+        def tasks():
+            for start, end in plan.part_bounds:
+                embeddings = [emb for _, emb in islice(emb_iter, end - start)]
+                yield partial(aggregate_part, app, ctx, embeddings)
+
+        report = self.executor.run(tasks(), workers=self.workers)
+        pmaps: list[PatternMap] = report.results
 
         self.meter.set("pattern_maps", sum(app.pmap_nbytes(m) for m in pmaps))
         if hasattr(self.hasher, "nbytes"):
             self.meter.set("hasher_cache", self.hasher.nbytes)
-        schedule = simulate_work_stealing(durations, self.workers)
+        schedule = report.schedule
         schedules.append(schedule)
         schedule_phases.append("aggregate")
 
@@ -312,7 +334,8 @@ class KaleidoEngine:
         reduced = app.reduce(ctx, pmaps)
         reduce_seconds = time.perf_counter() - reduce_started
         self.meter.set("pattern_maps", app.pmap_nbytes(reduced))
-        return reduced, schedule.span_seconds + reduce_seconds
+        wall = time.perf_counter() - wall_started
+        return reduced, schedule.span_seconds + reduce_seconds, wall
 
     def _io_totals(self) -> tuple[int, int]:
         store = self._policy.store

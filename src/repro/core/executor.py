@@ -1,0 +1,216 @@
+"""Pluggable part executors — stage 2 of the plan → execute → aggregate
+pipeline.
+
+The planner (:mod:`repro.core.plan`) cuts a level into contiguous parts;
+an executor runs one task per part and hands the per-part results back in
+*part order*, whatever order they finished in.  Three executors ship:
+
+* :class:`SerialExecutor` — runs parts one after another on the calling
+  thread and reports the real one-worker timeline.
+* :class:`ThreadedExecutor` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  backed executor.  Parts run concurrently (numpy candidate kernels and the
+  spill I/O release the GIL); completed parts are delivered to the caller's
+  ``on_result`` callback from the coordinating thread as they finish, so
+  sinks never need locks, and the reported schedule carries the measured
+  wall-clock intervals.
+* :class:`SimulatedSchedule` — wraps another executor (serial by default)
+  and replays its measured part durations through the deterministic
+  work-stealing model (:func:`repro.balance.simulate_work_stealing`).
+  This is the engine default and preserves the modelled-parallelism
+  behaviour every Fig. 14/17/18 benchmark is built on.
+
+Tasks must be pure functions of their part (no shared mutable state) so an
+executor may run them in any order; result merging is deterministic because
+it always happens in part-index order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent import futures as _futures
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..balance.worksteal import Schedule, TaskInterval, simulate_work_stealing
+
+__all__ = [
+    "ExecutionReport",
+    "PartExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "SimulatedSchedule",
+    "resolve_executor",
+    "EXECUTOR_CHOICES",
+]
+
+#: Called with ``(part_index, result)`` as each part completes — possibly
+#: out of part order for concurrent executors, but always from the
+#: coordinating thread.
+ResultCallback = Callable[[int, Any], None]
+
+
+@dataclass
+class ExecutionReport:
+    """What one executor run produced.
+
+    ``results`` and ``durations`` are indexed by *task order* (part index),
+    regardless of the order parts completed in.
+    """
+
+    results: list[Any] = field(default_factory=list)
+    durations: list[float] = field(default_factory=list)
+    schedule: Schedule = field(default_factory=lambda: Schedule(num_workers=1))
+
+
+class PartExecutor:
+    """Runs per-part tasks and reports results in deterministic part order."""
+
+    name = "base"
+
+    def run(
+        self,
+        tasks: Iterable[Callable[[], Any]],
+        workers: int = 1,
+        on_result: ResultCallback | None = None,
+    ) -> ExecutionReport:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+class SerialExecutor(PartExecutor):
+    """Runs every part on the calling thread, in part order."""
+
+    name = "serial"
+
+    def run(
+        self,
+        tasks: Iterable[Callable[[], Any]],
+        workers: int = 1,
+        on_result: ResultCallback | None = None,
+    ) -> ExecutionReport:
+        report = ExecutionReport(schedule=Schedule(num_workers=1))
+        clock = 0.0
+        for index, task in enumerate(tasks):
+            started = time.perf_counter()
+            result = task()
+            elapsed = time.perf_counter() - started
+            report.results.append(result)
+            report.durations.append(elapsed)
+            report.schedule.intervals.append(
+                TaskInterval(worker=0, start=clock, end=clock + elapsed, task_index=index)
+            )
+            clock += elapsed
+            if on_result is not None:
+                on_result(index, result)
+        return report
+
+
+class SimulatedSchedule(PartExecutor):
+    """Work-stealing replay over another executor's measured durations.
+
+    The inner executor (serial by default) produces the part results; the
+    reported schedule is the deterministic work-stealing replay of its part
+    durations onto ``workers`` modelled workers — exactly the engine's
+    pre-refactor behaviour, kept as the default so the simulated-parallel
+    benchmarks (Fig. 14/17/18) are unchanged.
+    """
+
+    name = "simulated"
+
+    def __init__(self, inner: PartExecutor | None = None) -> None:
+        self.inner = inner if inner is not None else SerialExecutor()
+
+    def run(
+        self,
+        tasks: Iterable[Callable[[], Any]],
+        workers: int = 1,
+        on_result: ResultCallback | None = None,
+    ) -> ExecutionReport:
+        report = self.inner.run(tasks, workers=1, on_result=on_result)
+        report.schedule = simulate_work_stealing(report.durations, workers)
+        return report
+
+
+class ThreadedExecutor(PartExecutor):
+    """Real thread-pool execution of parts.
+
+    Parts are submitted as the task iterable yields them and may complete
+    out of order; ``on_result`` fires from the coordinating thread on each
+    completion, and the final report is re-ordered by part index.  The
+    schedule holds the measured wall-clock intervals, with each pool thread
+    mapped to a stable worker slot.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        tasks: Iterable[Callable[[], Any]],
+        workers: int = 1,
+        on_result: ResultCallback | None = None,
+    ) -> ExecutionReport:
+        pool_size = self.max_workers if self.max_workers is not None else max(1, workers)
+        epoch = time.perf_counter()
+
+        def timed(index: int, task: Callable[[], Any]):
+            started = time.perf_counter()
+            result = task()
+            ended = time.perf_counter()
+            return index, result, started - epoch, ended - epoch, threading.get_ident()
+
+        records: dict[int, tuple[Any, float, float, int]] = {}
+        with _futures.ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="kaleido-part"
+        ) as pool:
+            pending = [
+                pool.submit(timed, index, task) for index, task in enumerate(tasks)
+            ]
+            try:
+                for future in _futures.as_completed(pending):
+                    index, result, started, ended, ident = future.result()
+                    records[index] = (result, started, ended, ident)
+                    if on_result is not None:
+                        on_result(index, result)
+            except BaseException:
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+
+        report = ExecutionReport(schedule=Schedule(num_workers=pool_size))
+        slots: dict[int, int] = {}
+        for index in range(len(records)):
+            result, started, ended, ident = records[index]
+            slot = slots.setdefault(ident, len(slots))
+            report.results.append(result)
+            report.durations.append(ended - started)
+            report.schedule.intervals.append(
+                TaskInterval(worker=slot, start=started, end=ended, task_index=index)
+            )
+        return report
+
+
+#: Executor specs accepted by the engine and the CLI's ``--executor`` flag.
+EXECUTOR_CHOICES = ("serial", "threads")
+
+
+def resolve_executor(spec: "str | PartExecutor") -> PartExecutor:
+    """Turn an executor spec (name or instance) into a :class:`PartExecutor`.
+
+    ``"serial"`` is the default: serial execution with the work-stealing
+    replay (:class:`SimulatedSchedule` around :class:`SerialExecutor`).
+    ``"threads"`` runs parts on a real thread pool sized to the engine's
+    worker count.
+    """
+    if isinstance(spec, PartExecutor):
+        return spec
+    if spec == "serial":
+        return SimulatedSchedule(SerialExecutor())
+    if spec == "threads":
+        return ThreadedExecutor()
+    raise ValueError(
+        f"unknown executor {spec!r} (choose from {', '.join(EXECUTOR_CHOICES)})"
+    )

@@ -7,32 +7,44 @@ the Definition-2 canonical filter plus an optional user filter (Listing 1's
 
 Expansion is partitioned: the caller supplies contiguous part boundaries
 over the current top level (either an even split or the prediction-driven
-split from :mod:`repro.balance`), and the explorer reports per-part wall
-time so the scheduler can compute makespans and CPU utilisation.  Output
-goes to a *sink* — in-memory for the common case, a spilling sink
+split from :mod:`repro.balance`), and each part is expanded by a *pure
+per-part function* (:func:`expand_vertex_part` / :func:`expand_edge_part`)
+so a :class:`repro.core.executor.PartExecutor` can run parts in any order
+— serially, on a thread pool, or under the work-stealing replay — and the
+results are merged deterministically in part-index order.  Output goes to
+a *sink* — in-memory for the common case, a spilling sink
 (:mod:`repro.storage`) when the memory budget says the next level will not
-fit.
+fit; sinks accept out-of-order part submission (each write carries its
+part index) so a concurrent executor can overlap part I/O with compute.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from functools import partial
+from itertools import islice
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from ..balance.worksteal import Schedule
 from ..graph.edge_index import EdgeIndex
 from ..graph.graph import Graph
 from .cse import CSE, InMemoryLevel, Level
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import PartExecutor
 
 __all__ = [
     "VertexFilter",
     "EdgeFilter",
     "ExpansionStats",
+    "PartExpansion",
     "LevelSink",
     "InMemorySink",
     "canonical_extensions",
+    "expand_vertex_part",
+    "expand_edge_part",
     "expand_vertex_level",
     "expand_edge_level",
     "even_parts",
@@ -46,6 +58,20 @@ EdgeFilter = Callable[[tuple[int, ...], tuple[int, int]], bool]
 
 
 @dataclass
+class PartExpansion:
+    """What expanding one part produced — the executor's unit of work."""
+
+    index: int
+    bound: tuple[int, int]
+    #: Emitted last-vertex (or edge-id) array for this part, in order.
+    vert: np.ndarray
+    #: Per-position emitted counts over ``bound`` (len == end - start).
+    counts: np.ndarray
+    emitted: int
+    candidates_examined: int
+
+
+@dataclass
 class ExpansionStats:
     """What one level expansion did, per part."""
 
@@ -54,6 +80,8 @@ class ExpansionStats:
     part_emitted: list[int] = field(default_factory=list)
     candidates_examined: int = 0
     emitted: int = 0
+    #: The executor's schedule for this level (real or replayed timeline).
+    schedule: Schedule | None = None
 
     @property
     def span_seconds(self) -> float:
@@ -66,30 +94,47 @@ class ExpansionStats:
 
 
 class LevelSink:
-    """Receives expansion output part by part and produces the new level."""
+    """Receives expansion output part by part and produces the new level.
 
-    def write_part(self, vert: np.ndarray) -> None:  # pragma: no cover - protocol
+    ``write_part`` may be called out of part order by a concurrent
+    executor; the ``index`` keyword carries the part's position so
+    ``finish`` can assemble the level deterministically.
+    """
+
+    def write_part(
+        self, vert: np.ndarray, index: int | None = None
+    ) -> None:  # pragma: no cover - protocol
         raise NotImplementedError
 
     def finish(self, off: np.ndarray) -> Level:  # pragma: no cover - protocol
         raise NotImplementedError
+
+    def abort(self) -> None:
+        """Discard everything written so far (error-path cleanup)."""
 
 
 class InMemorySink(LevelSink):
     """Accumulates parts in memory into an :class:`InMemoryLevel`."""
 
     def __init__(self) -> None:
-        self._parts: list[np.ndarray] = []
+        self._parts: list[tuple[int, np.ndarray]] = []
+        self._seq = 0
 
-    def write_part(self, vert: np.ndarray) -> None:
-        self._parts.append(vert)
+    def write_part(self, vert: np.ndarray, index: int | None = None) -> None:
+        key = self._seq if index is None else int(index)
+        self._seq += 1
+        self._parts.append((key, vert))
 
     def finish(self, off: np.ndarray) -> Level:
-        if self._parts:
-            vert = np.concatenate(self._parts)
+        ordered = [vert for _, vert in sorted(self._parts, key=lambda kv: kv[0])]
+        if ordered:
+            vert = np.concatenate(ordered)
         else:
             vert = np.zeros(0, dtype=np.int32)
         return InMemoryLevel(vert, off)
+
+    def abort(self) -> None:
+        self._parts.clear()
 
 
 def even_parts(total: int, num_parts: int) -> list[tuple[int, int]]:
@@ -135,50 +180,26 @@ def canonical_extensions(graph: Graph, embedding: Sequence[int]) -> list[int]:
     return [cand for cand in candidates if _extends_inline(adjacency, emb, cand)]
 
 
-def expand_vertex_level(
+# ----------------------------------------------------------------------
+# Per-part pure functions
+# ----------------------------------------------------------------------
+def expand_vertex_part(
     graph: Graph,
-    cse: CSE,
+    adjacency: list[frozenset[int]],
+    embeddings: Sequence[tuple[int, ...]],
+    bound: tuple[int, int],
+    index: int,
     embedding_filter: VertexFilter | None = None,
-    parts: Sequence[tuple[int, int]] | None = None,
-    sink: LevelSink | None = None,
-) -> ExpansionStats:
-    """Expand the CSE's top level by one vertex (one exploration iteration).
+) -> PartExpansion:
+    """Expand one contiguous part of a level by one vertex.
 
-    Walks the top level sequentially; parts are contiguous position ranges
-    whose wall time is recorded individually.  Appends the new level to the
-    CSE and returns the stats.
+    Pure function of its inputs (the graph and adjacency are read-only),
+    so an executor may run parts concurrently and in any order.
     """
-    total = cse.size()
-    if parts is None:
-        parts = [(0, total)]
-    _check_parts(parts, total)
-    if sink is None:
-        sink = InMemorySink()
-    stats = ExpansionStats()
-    counts = np.zeros(total, dtype=np.int64)
-    part_iter = iter(parts)
-    current = next(part_iter, None)
     buffer: list[int] = []
-    part_started = time.perf_counter()
-    part_emitted = 0
-
-    def flush(bound: tuple[int, int]) -> None:
-        nonlocal buffer, part_started, part_emitted
-        sink.write_part(np.asarray(buffer, dtype=np.int32))
-        elapsed = time.perf_counter() - part_started
-        stats.part_bounds.append(bound)
-        stats.part_seconds.append(elapsed)
-        stats.part_emitted.append(part_emitted)
-        buffer = []
-        part_started = time.perf_counter()
-        part_emitted = 0
-
-    adjacency = graph.adjacency_sets()
+    counts = np.zeros(len(embeddings), dtype=np.int64)
     examined = 0
-    for pos, emb in cse.iter_embeddings():
-        while current is not None and pos >= current[1]:
-            flush(current)
-            current = next(part_iter, None)
+    for i, emb in enumerate(embeddings):
         if len(emb) == 1:
             candidates = graph.neighbors(emb[0]).tolist()
         else:
@@ -186,8 +207,8 @@ def expand_vertex_level(
             for v in emb:
                 merged.update(adjacency[v])
             candidates = sorted(merged)
-        emitted_here = 0
         examined += len(candidates)
+        emitted_here = 0
         for cand in candidates:
             if not _extends_inline(adjacency, emb, cand):
                 continue
@@ -195,65 +216,35 @@ def expand_vertex_level(
                 continue
             buffer.append(cand)
             emitted_here += 1
-        counts[pos] = emitted_here
-        part_emitted += emitted_here
-        stats.emitted += emitted_here
-    stats.candidates_examined = examined
-    while current is not None:
-        flush(current)
-        current = next(part_iter, None)
-
-    off = np.zeros(total + 1, dtype=np.int64)
-    np.cumsum(counts, out=off[1:])
-    cse.append_level(sink.finish(off))
-    return stats
+        counts[i] = emitted_here
+    return PartExpansion(
+        index=index,
+        bound=bound,
+        vert=np.asarray(buffer, dtype=np.int32),
+        counts=counts,
+        emitted=len(buffer),
+        candidates_examined=examined,
+    )
 
 
-def expand_edge_level(
-    graph: Graph,
-    index: EdgeIndex,
-    cse: CSE,
+def expand_edge_part(
+    eu: Sequence[int],
+    ev: Sequence[int],
+    incident: Sequence[Sequence[int]],
+    embeddings: Sequence[tuple[int, ...]],
+    bound: tuple[int, int],
+    index: int,
     embedding_filter: EdgeFilter | None = None,
-    parts: Sequence[tuple[int, int]] | None = None,
-    sink: LevelSink | None = None,
-) -> ExpansionStats:
-    """Edge-induced analogue of :func:`expand_vertex_level`.
+) -> PartExpansion:
+    """Edge-induced analogue of :func:`expand_vertex_part`.
 
     CSE levels hold edge ids; the candidate set of an embedding is every
     edge incident to one of its endpoint vertices.
     """
-    total = cse.size()
-    if parts is None:
-        parts = [(0, total)]
-    _check_parts(parts, total)
-    if sink is None:
-        sink = InMemorySink()
-    stats = ExpansionStats()
-    counts = np.zeros(total, dtype=np.int64)
-    part_iter = iter(parts)
-    current = next(part_iter, None)
     buffer: list[int] = []
-    part_started = time.perf_counter()
-    part_emitted = 0
-
-    def flush(bound: tuple[int, int]) -> None:
-        nonlocal buffer, part_started, part_emitted
-        sink.write_part(np.asarray(buffer, dtype=np.int32))
-        elapsed = time.perf_counter() - part_started
-        stats.part_bounds.append(bound)
-        stats.part_seconds.append(elapsed)
-        stats.part_emitted.append(part_emitted)
-        buffer = []
-        part_started = time.perf_counter()
-        part_emitted = 0
-
-    eu, ev = index.endpoint_lists()
-    incident = index.incident_lists()
+    counts = np.zeros(len(embeddings), dtype=np.int64)
     examined = 0
-    for pos, emb in cse.iter_embeddings():
-        while current is not None and pos >= current[1]:
-            flush(current)
-            current = next(part_iter, None)
+    for i, emb in enumerate(embeddings):
         # Arrival index: first embedding position at which each vertex
         # appears — gives the O(1) "first reachable" step of the
         # edge-canonicality rule.
@@ -292,18 +283,131 @@ def expand_edge_level(
                 continue
             buffer.append(cand)
             emitted_here += 1
-        counts[pos] = emitted_here
-        part_emitted += emitted_here
-        stats.emitted += emitted_here
-    stats.candidates_examined = examined
-    while current is not None:
-        flush(current)
-        current = next(part_iter, None)
+        counts[i] = emitted_here
+    return PartExpansion(
+        index=index,
+        bound=bound,
+        vert=np.asarray(buffer, dtype=np.int32),
+        counts=counts,
+        emitted=len(buffer),
+        candidates_examined=examined,
+    )
+
+
+# ----------------------------------------------------------------------
+# Driver: stream the level into part tasks, execute, merge in part order
+# ----------------------------------------------------------------------
+def _run_expansion(
+    cse: CSE,
+    parts: Sequence[tuple[int, int]] | None,
+    sink: LevelSink | None,
+    executor: "PartExecutor | None",
+    workers: int,
+    make_part: Callable[..., PartExpansion],
+) -> ExpansionStats:
+    """Common expansion driver shared by the vertex and edge paths.
+
+    The top level is streamed exactly once (a spilled level never
+    materialises): each part's embeddings are decoded lazily as the
+    executor pulls its task, so the serial executor holds at most one
+    part's tuples in memory at a time.  Completed parts go to the sink as
+    they finish (possibly out of order); counts and stats are assembled in
+    part-index order, so the produced level is identical for every
+    executor.
+    """
+    from .executor import SerialExecutor
+
+    total = cse.size()
+    if parts is None:
+        parts = [(0, total)]
+    _check_parts(parts, total)
+    if sink is None:
+        sink = InMemorySink()
+    if executor is None:
+        executor = SerialExecutor()
+
+    emb_iter = iter(cse.iter_embeddings())
+
+    def tasks():
+        for index, bound in enumerate(parts):
+            start, end = bound
+            embeddings = [emb for _, emb in islice(emb_iter, end - start)]
+            yield partial(make_part, embeddings, bound, index)
+
+    counts = np.zeros(total, dtype=np.int64)
+
+    def on_result(index: int, part: PartExpansion) -> None:
+        sink.write_part(part.vert, index=index)
+        start, end = part.bound
+        counts[start:end] = part.counts
+
+    try:
+        report = executor.run(tasks(), workers=workers, on_result=on_result)
+    except BaseException:
+        sink.abort()
+        raise
+
+    stats = ExpansionStats(schedule=report.schedule)
+    for part, seconds in zip(report.results, report.durations):
+        stats.part_bounds.append(part.bound)
+        stats.part_seconds.append(seconds)
+        stats.part_emitted.append(part.emitted)
+        stats.candidates_examined += part.candidates_examined
+        stats.emitted += part.emitted
 
     off = np.zeros(total + 1, dtype=np.int64)
     np.cumsum(counts, out=off[1:])
     cse.append_level(sink.finish(off))
     return stats
+
+
+def expand_vertex_level(
+    graph: Graph,
+    cse: CSE,
+    embedding_filter: VertexFilter | None = None,
+    parts: Sequence[tuple[int, int]] | None = None,
+    sink: LevelSink | None = None,
+    executor: "PartExecutor | None" = None,
+    workers: int = 1,
+) -> ExpansionStats:
+    """Expand the CSE's top level by one vertex (one exploration iteration).
+
+    Parts are contiguous position ranges over the top level; each becomes
+    one executor task.  Appends the new level to the CSE and returns the
+    per-part stats.
+    """
+    adjacency = graph.adjacency_sets()
+    make_part = partial(_vertex_part_task, graph, adjacency, embedding_filter)
+    return _run_expansion(cse, parts, sink, executor, workers, make_part)
+
+
+def _vertex_part_task(graph, adjacency, embedding_filter, embeddings, bound, index):
+    return expand_vertex_part(
+        graph, adjacency, embeddings, bound, index, embedding_filter
+    )
+
+
+def expand_edge_level(
+    graph: Graph,
+    index: EdgeIndex,
+    cse: CSE,
+    embedding_filter: EdgeFilter | None = None,
+    parts: Sequence[tuple[int, int]] | None = None,
+    sink: LevelSink | None = None,
+    executor: "PartExecutor | None" = None,
+    workers: int = 1,
+) -> ExpansionStats:
+    """Edge-induced analogue of :func:`expand_vertex_level`."""
+    eu, ev = index.endpoint_lists()
+    incident = index.incident_lists()
+    make_part = partial(_edge_part_task, eu, ev, incident, embedding_filter)
+    return _run_expansion(cse, parts, sink, executor, workers, make_part)
+
+
+def _edge_part_task(eu, ev, incident, embedding_filter, embeddings, bound, index):
+    return expand_edge_part(
+        eu, ev, incident, embeddings, bound, index, embedding_filter
+    )
 
 
 def _check_parts(parts: Sequence[tuple[int, int]], total: int) -> None:

@@ -3,12 +3,16 @@
 Glue between the explorer and the spill machinery:
 
 * :class:`SpillingSink` — a :class:`repro.core.explore.LevelSink` that
-  routes each exploration part through the writing queue and finishes into
-  a :class:`SpilledLevel`.
+  routes each exploration part through the writing queue (carrying the
+  part index, so out-of-order submission from a concurrent executor still
+  assembles a deterministic level) and finishes into a
+  :class:`SpilledLevel`.
 * :func:`spill_level` — demote an existing in-memory level to disk.
 * :class:`StoragePolicy` — decides, before each expansion, whether the new
   level goes to memory or disk, given the memory budget and a size
-  prediction for the next level.
+  prediction for the next level.  The decision (:meth:`should_spill`) and
+  the sink construction (:meth:`make_sink`) are separate so the planner
+  can record the choice in its :class:`~repro.core.plan.LevelPlan`.
 """
 
 from __future__ import annotations
@@ -39,12 +43,16 @@ class SpillingSink(LevelSink):
         self._queue = WritingQueue(store, synchronous=synchronous)
         self._tag = tag
 
-    def write_part(self, vert: np.ndarray) -> None:
-        self._queue.submit(vert, tag=self._tag)
+    def write_part(self, vert: np.ndarray, index: int | None = None) -> None:
+        self._queue.submit(vert, tag=self._tag, index=index)
 
     def finish(self, off: np.ndarray) -> Level:
         handles = self._queue.close()
         return SpilledLevel(self.store, handles, off, prefetch=self.prefetch)
+
+    def abort(self) -> None:
+        """Stop the queue and delete the partial level's files."""
+        self._queue.discard()
 
 
 def spill_level(
@@ -90,35 +98,47 @@ class StoragePolicy:
         self.prefetch = prefetch
         self.force_spill_last = force_spill_last
         self.spilled_levels = 0
+        self.demoted_levels = 0
 
     def _ensure_store(self) -> PartStore:
         if self.store is None:
             self.store = PartStore()
         return self.store
 
-    def sink_for_next_level(
-        self, cse: CSE, predicted_entries: int, bytes_per_entry: int = 4
-    ) -> LevelSink:
-        """Sink for the upcoming expansion, spilling when needed."""
+    def should_spill(self, predicted_entries: int, bytes_per_entry: int = 4) -> bool:
+        """Whether the next level must go to disk."""
+        if self.force_spill_last:
+            return True
         predicted_bytes = predicted_entries * bytes_per_entry
-        if not self.force_spill_last and self.budget.fits(
-            self.meter.current_bytes, predicted_bytes
-        ):
-            return InMemorySink()
+        return not self.budget.fits(self.meter.current_bytes, predicted_bytes)
+
+    def make_sink(self, cse: CSE) -> "SpillingSink":
+        """Build the spilling sink, demoting the top level when pressed.
+
+        If even the offsets of existing levels blow the budget, the
+        current top level is demoted to disk as well.
+        """
         self.spilled_levels += 1
         store = self._ensure_store()
-        # If even the offsets of existing levels blow the budget, demote
-        # the current top level as well.
         if not self.budget.fits(self.meter.current_bytes, 0) and cse.depth > 1:
             top = cse.levels[-1]
             if isinstance(top, InMemoryLevel):
                 cse.levels[-1] = spill_level(top, store, prefetch=self.prefetch)
+                self.demoted_levels += 1
         return SpillingSink(
             store,
             synchronous=self.synchronous_io,
             prefetch=self.prefetch,
             tag=f"vert{cse.depth + 1}",
         )
+
+    def sink_for_next_level(
+        self, cse: CSE, predicted_entries: int, bytes_per_entry: int = 4
+    ) -> LevelSink:
+        """Sink for the upcoming expansion, spilling when needed."""
+        if not self.should_spill(predicted_entries, bytes_per_entry):
+            return InMemorySink()
+        return self.make_sink(cse)
 
     def close(self) -> None:
         if self.store is not None:

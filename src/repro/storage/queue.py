@@ -4,6 +4,13 @@ Workers append their finished parts to the queue; a single writer thread
 flushes them to the part store so computation is not blocked on disk.
 ``flush()`` waits for everything submitted so far; the queue is also a
 context manager that flushes and stops its thread on exit.
+
+Submissions may carry an explicit part ``index``: a concurrent executor
+finishes parts out of order, and the queue reorders handles by index at
+flush time so the assembled level is deterministic.  ``close()`` is
+idempotent (it caches its handle list), and ``discard()`` stops the queue
+and deletes every part it wrote — the error path when an executor raises
+mid-level.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ _STOP = object()
 
 
 class WritingQueue:
-    """Asynchronous part writer preserving submission order.
+    """Asynchronous part writer preserving part order.
 
     Set ``synchronous=True`` to write inline (deterministic tests).
     """
@@ -33,8 +40,13 @@ class WritingQueue:
     def __init__(self, store: "PartStore", synchronous: bool = False) -> None:
         self.store = store
         self.synchronous = synchronous
-        self._handles: list["PartHandle"] = []
+        #: (sort key, handle) pairs; the key is the submitted part index,
+        #: falling back to the submission sequence number.
+        self._results: list[tuple[int, "PartHandle"]] = []
+        self._seq = 0
         self._error: BaseException | None = None
+        self._closed = False
+        self._cached: list["PartHandle"] | None = None
         if not synchronous:
             self._queue: queue.Queue = queue.Queue(maxsize=16)
             self._thread = threading.Thread(
@@ -43,28 +55,58 @@ class WritingQueue:
             self._thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, array: np.ndarray, tag: str = "part") -> None:
+    def submit(
+        self, array: np.ndarray, tag: str = "part", index: int | None = None
+    ) -> None:
         """Queue one array for writing; raises pending writer errors."""
+        if self._closed:
+            raise StorageError("cannot submit to a closed writing queue")
         self._raise_pending()
+        key = self._seq if index is None else int(index)
+        self._seq += 1
         if self.synchronous:
-            self._handles.append(self.store.save(array, tag=tag))
+            self._results.append((key, self.store.save(array, tag=tag)))
         else:
-            self._queue.put((array, tag))
+            self._queue.put((key, array, tag))
 
     def flush(self) -> list["PartHandle"]:
-        """Wait for all submitted parts; return their handles in order."""
-        if not self.synchronous:
+        """Wait for all submitted parts; return their handles in part order."""
+        if not self.synchronous and not self._closed:
             self._queue.join()
         self._raise_pending()
-        return list(self._handles)
+        return [handle for _, handle in sorted(self._results, key=lambda kv: kv[0])]
 
     def close(self) -> list["PartHandle"]:
-        """Flush and stop the writer thread; returns all handles."""
+        """Flush and stop the writer thread; returns all handles.
+
+        Idempotent: calling again returns the same handle list without
+        touching the (already stopped) writer thread.
+        """
+        if self._closed:
+            return list(self._cached or [])
         handles = self.flush()
-        if not self.synchronous and self._thread.is_alive():
-            self._queue.put(_STOP)
-            self._thread.join(timeout=30)
-        return handles
+        self._stop_thread()
+        self._closed = True
+        self._cached = handles
+        return list(handles)
+
+    def discard(self) -> None:
+        """Stop the queue and delete every part it wrote (best effort).
+
+        Error-path cleanup: safe to call whether or not the queue was
+        closed, and swallows pending writer errors (the caller is already
+        unwinding from one).
+        """
+        if not self._closed:
+            if not self.synchronous:
+                self._queue.join()
+            self._stop_thread()
+            self._closed = True
+        self._error = None
+        for _, handle in self._results:
+            self.store.delete(handle)
+        self._results.clear()
+        self._cached = []
 
     def __enter__(self) -> "WritingQueue":
         return self
@@ -73,15 +115,20 @@ class WritingQueue:
         self.close()
 
     # ------------------------------------------------------------------
+    def _stop_thread(self) -> None:
+        if not self.synchronous and self._thread.is_alive():
+            self._queue.put(_STOP)
+            self._thread.join(timeout=30)
+
     def _run(self) -> None:
         while True:
             item = self._queue.get()
             if item is _STOP:
                 self._queue.task_done()
                 return
-            array, tag = item
+            key, array, tag = item
             try:
-                self._handles.append(self.store.save(array, tag=tag))
+                self._results.append((key, self.store.save(array, tag=tag)))
             except BaseException as exc:  # surfaced on next submit/flush
                 self._error = exc
             finally:

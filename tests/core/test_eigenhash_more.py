@@ -1,8 +1,10 @@
 """Additional EigenHash edge cases and stability guarantees."""
 
+import os
 import subprocess
 import sys
 
+import repro
 from repro.core import Pattern, eigen_hash
 from repro.core.eigenhash import _stable_hash
 
@@ -13,13 +15,25 @@ def test_hash_stable_across_interpreter_runs():
         "from repro.core import Pattern, eigen_hash;"
         "print(eigen_hash(Pattern((1, 0, 2), 0b101)))"
     )
+    # The child needs to find `repro` however this process found it —
+    # propagate PYTHONPATH plus the imported package's location (the
+    # tier-1 invocation sets only PYTHONPATH=src, which a bare env would
+    # drop); PYTHONHASHSEED stays pinned per iteration.
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    pythonpath = os.pathsep.join(
+        p for p in (package_dir, os.environ.get("PYTHONPATH")) if p
+    )
     outs = set()
     for seed in ("0", "1", "random"):
         result = subprocess.run(
             [sys.executable, "-c", code],
             capture_output=True,
             text=True,
-            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": seed,
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": pythonpath,
+            },
         )
         assert result.returncode == 0, result.stderr
         outs.add(result.stdout.strip())

@@ -25,7 +25,29 @@ from ..core.cse import CSE
 from ..core.pattern import Pattern
 from .mni import MNIDomains, PositionMapper, merge_domains
 
-__all__ = ["FrequentSubgraphMining", "FSMResult", "edge_pattern_supports"]
+__all__ = [
+    "FrequentSubgraphMining",
+    "FSMResult",
+    "FSMMapperPart",
+    "edge_pattern_supports",
+]
+
+
+class FSMMapperPart:
+    """One mapper part's local state for the FSM apps.
+
+    ``prune`` needs the per-embedding pattern hashes *in level position
+    order*; recording them here (instead of on the application) keeps
+    ``map_embedding`` pure per part, and the engine's part-ordered
+    ``finish_part`` calls reassemble the positional list deterministically
+    under any executor."""
+
+    __slots__ = ("hashes", "insertions", "mapped")
+
+    def __init__(self) -> None:
+        self.hashes: list[int] = []
+        self.insertions = 0
+        self.mapped = 0
 
 
 def edge_pattern_supports(graph) -> dict[tuple[int, int, int], MNIDomains]:
@@ -146,8 +168,20 @@ class FrequentSubgraphMining(MiningApplication):
         return candidate in self._frequent_edges
 
     # ------------------------------------------------------------------
+    def start_part(self, ctx: EngineContext) -> FSMMapperPart:
+        return FSMMapperPart()
+
+    def finish_part(self, ctx: EngineContext, part: FSMMapperPart) -> None:
+        self._iter_hashes.extend(part.hashes)
+        self.total_insertions += part.insertions
+        self.total_mapped += part.mapped
+
     def map_embedding(
-        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+        self,
+        ctx: EngineContext,
+        embedding: tuple[int, ...],
+        pmap: PatternMap,
+        part: FSMMapperPart | None = None,
     ) -> None:
         assert ctx.edge_index is not None
         eu, ev = ctx.edge_index.endpoint_lists()
@@ -156,6 +190,9 @@ class FrequentSubgraphMining(MiningApplication):
         if self.hash_every_embedding:
             phash = ctx.hash_pattern(pattern)
         else:
+            # Shared memo is safe under concurrent parts: dict get/set are
+            # atomic and the value per key is deterministic, so a race
+            # costs at most a duplicate hash computation.
             raw_key = (pattern.labels, pattern.bits, pattern.edge_labels)
             phash = self._phash_cache.get(raw_key)
             if phash is None:
@@ -174,10 +211,17 @@ class FrequentSubgraphMining(MiningApplication):
         dom = pmap.get(phash)
         if dom is None:
             dom = pmap[phash] = MNIDomains(len(structure_order))
+        inserted = 0
         for placement in self._mapper.placements(pattern, structure_order):
-            self.total_insertions += dom.add(placement, self._threshold)
-        self.total_mapped += 1
-        self._iter_hashes.append(phash)
+            inserted += dom.add(placement, self._threshold)
+        if part is None:  # direct three-argument call (serial/tests)
+            self.total_insertions += inserted
+            self.total_mapped += 1
+            self._iter_hashes.append(phash)
+        else:
+            part.insertions += inserted
+            part.mapped += 1
+            part.hashes.append(phash)
 
     def reduce(self, ctx: EngineContext, pmaps: list[PatternMap]) -> PatternMap:
         merged: PatternMap = {}

@@ -21,7 +21,7 @@ import numpy as np
 from ..core.api import EngineContext, MiningApplication, PatternMap
 from ..core.cse import CSE
 from ..core.pattern import Pattern
-from .fsm import FSMResult
+from .fsm import FSMMapperPart, FSMResult
 from .mni import MNIDomains, PositionMapper, merge_domains
 
 __all__ = ["VertexInducedFSM"]
@@ -74,8 +74,18 @@ class VertexInducedFSM(MiningApplication):
     def embedding_filter(self, embedding: tuple[int, ...], candidate: int) -> bool:
         return int(self._labels[candidate]) in self._frequent_labels
 
+    def start_part(self, ctx: EngineContext) -> FSMMapperPart:
+        return FSMMapperPart()
+
+    def finish_part(self, ctx: EngineContext, part: FSMMapperPart) -> None:
+        self._iter_hashes.extend(part.hashes)
+
     def map_embedding(
-        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+        self,
+        ctx: EngineContext,
+        embedding: tuple[int, ...],
+        pmap: PatternMap,
+        part: FSMMapperPart | None = None,
     ) -> None:
         pattern = Pattern.from_vertex_embedding(ctx.graph, embedding)
         phash = ctx.hash_pattern(pattern)
@@ -84,7 +94,10 @@ class VertexInducedFSM(MiningApplication):
             dom = pmap[phash] = MNIDomains(len(embedding))
         for placement in self._mapper.placements(pattern, list(embedding)):
             dom.add(placement, self._threshold)
-        self._iter_hashes.append(phash)
+        if part is None:  # direct three-argument call (serial/tests)
+            self._iter_hashes.append(phash)
+        else:
+            part.hashes.append(phash)
 
     def reduce(self, ctx: EngineContext, pmaps: list[PatternMap]) -> PatternMap:
         merged: PatternMap = {}

@@ -97,14 +97,29 @@ class PatternMatching(MiningApplication):
         internal = sum(1 for v in embedding if v in adjacency[candidate])
         return internal <= self._max_degree
 
+    def start_part(self, ctx: EngineContext) -> list[tuple[int, ...]] | None:
+        # Per-part match buffer, merged back in part-index order by
+        # finish_part — concurrent parts must not append to the shared
+        # list, or the materialised order becomes completion order.
+        return [] if self.materialize else None
+
+    def finish_part(
+        self, ctx: EngineContext, part: list[tuple[int, ...]]
+    ) -> None:
+        self._matches.extend(part)
+
     def map_embedding(
-        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+        self,
+        ctx: EngineContext,
+        embedding: tuple[int, ...],
+        pmap: PatternMap,
+        part: list[tuple[int, ...]] | None = None,
     ) -> None:
         candidate = Pattern.from_vertex_embedding(ctx.graph, embedding)
         if are_isomorphic(candidate, self.pattern):
             pmap[0] = pmap.get(0, 0) + 1
             if self.materialize:
-                self._matches.append(embedding)
+                (self._matches if part is None else part).append(embedding)
 
     def finalize(self, ctx: EngineContext, cse: CSE, pmap: PatternMap) -> MatchResult:
         return MatchResult(

@@ -67,6 +67,13 @@ class MNIDomains:
         """Accounted size: set overhead + 28 bytes per stored int."""
         return sum(64 + 28 * len(domain) for domain in self.domains)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the recorded domains (the executor parity
+        tests compare whole pattern maps)."""
+        if not isinstance(other, MNIDomains):
+            return NotImplemented
+        return self.domains == other.domains and self.frozen == other.frozen
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MNIDomains(support={self.support}, frozen={self.frozen})"
 

@@ -9,7 +9,9 @@ the hooks of Listing 1:
   exploration (the canonical filter is always applied first, as the
   paper's "default embedding filter");
 * ``map_embedding``       — the AggregatingMapper: fold one embedding into
-  a PatternMap;
+  a PatternMap (a pure per-part function; side outputs go through the
+  ``start_part`` / ``finish_part`` part-state hooks so concurrent
+  executors stay deterministic);
 * ``reduce``              — the AggregatingReducer: merge per-worker
   PatternMaps and apply the PatternFilter;
 * ``pattern_filter``      — optional pruning of aggregated patterns.
@@ -92,11 +94,43 @@ class MiningApplication:
     # ------------------------------------------------------------------
     # Phase 2 hooks
     # ------------------------------------------------------------------
+    def start_part(self, ctx: EngineContext) -> Any:
+        """Create one mapper part's local state (default ``None``).
+
+        The engine may run mapper parts concurrently, so
+        ``map_embedding`` must not mutate application attributes.  Any
+        side output beyond the part's PatternMap — positional hash
+        lists, materialised embeddings, counters — belongs in the object
+        returned here; the engine passes it to every ``map_embedding``
+        call of that part and hands all part states to ``finish_part``
+        serially in part-index order, which keeps results deterministic
+        whatever order parts completed in.
+
+        Returning ``None`` (the default) keeps the three-argument
+        ``map_embedding`` calling convention for apps with no side
+        output."""
+        return None
+
     def map_embedding(
-        self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap
+        self,
+        ctx: EngineContext,
+        embedding: tuple[int, ...],
+        pmap: PatternMap,
+        part: Any = None,
     ) -> None:
-        """AggregatingMapper: fold one embedding into ``pmap``."""
+        """AggregatingMapper: fold one embedding into ``pmap``.
+
+        Must be a pure function of ``(embedding, pmap, part)`` —
+        concurrent executors run parts on pool threads, so shared
+        application state may only be *read* here.  ``part`` is the
+        state from ``start_part`` (omitted when that returned None)."""
         raise NotImplementedError
+
+    def finish_part(self, ctx: EngineContext, part: Any) -> None:
+        """Absorb one part's mapper state into the application.
+
+        Called from the coordinating thread, serially and in part-index
+        order, after the executor has run every part."""
 
     def reduce(self, ctx: EngineContext, pmaps: list[PatternMap]) -> PatternMap:
         """AggregatingReducer: merge per-worker maps, apply PatternFilter.

@@ -19,6 +19,7 @@ targets (k < 9).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -216,6 +217,10 @@ class PatternHasher:
         self._representatives: dict[int, Pattern] = {}
         self.hits = 0
         self.misses = 0
+        # Concurrent executors call hash_pattern from pool threads; the
+        # dict operations are atomic (and deterministic per key), but the
+        # counters need the lock — bare += loses updates across threads.
+        self._stats_lock = threading.Lock()
 
     def hash_pattern(self, pattern: Pattern) -> int:
         normalized, _ = pattern.sorted_by_label_degree()
@@ -223,9 +228,11 @@ class PatternHasher:
         if self.cache:
             cached = self._cache.get(key)
             if cached is not None:
-                self.hits += 1
+                with self._stats_lock:
+                    self.hits += 1
                 return cached
-        self.misses += 1
+        with self._stats_lock:
+            self.misses += 1
         value = eigen_hash(pattern)
         self._cache[key] = value
         self._representatives.setdefault(value, normalized)

@@ -48,17 +48,26 @@ logger = logging.getLogger("repro.engine")
 
 def aggregate_part(
     app: MiningApplication, ctx: EngineContext, embeddings: list[tuple[int, ...]]
-) -> PatternMap:
+) -> tuple[PatternMap, object]:
     """Run the AggregatingMapper over one part's embeddings.
 
-    Pure per-part function (each part owns its own PatternMap — the
-    paper's FSM avoids a concurrent hashmap the same way), so mapper
-    parts go through the same executor seam as expansion parts.
+    Pure per-part function (each part owns its own PatternMap and its own
+    ``start_part`` state — the paper's FSM avoids a concurrent hashmap
+    the same way), so mapper parts go through the same executor seam as
+    expansion parts.  Returns ``(pmap, part_state)``; the engine hands
+    the part states to ``app.finish_part`` in part-index order, so apps
+    with positional side outputs (FSM's per-iteration hash list,
+    materialised matches) stay deterministic under concurrent executors.
     """
     pmap: PatternMap = {}
-    for emb in embeddings:
-        app.map_embedding(ctx, emb, pmap)
-    return pmap
+    part = app.start_part(ctx)
+    if part is None:
+        for emb in embeddings:
+            app.map_embedding(ctx, emb, pmap)
+    else:
+        for emb in embeddings:
+            app.map_embedding(ctx, emb, pmap, part)
+    return pmap, part
 
 
 class KaleidoEngine:
@@ -321,7 +330,12 @@ class KaleidoEngine:
                 yield partial(aggregate_part, app, ctx, embeddings)
 
         report = self.executor.run(tasks(), workers=self.workers)
-        pmaps: list[PatternMap] = report.results
+        pmaps: list[PatternMap] = [pmap for pmap, _ in report.results]
+        # Part states are absorbed serially in part-index order, whatever
+        # order the executor completed the parts in.
+        for _, part_state in report.results:
+            if part_state is not None:
+                app.finish_part(ctx, part_state)
 
         self.meter.set("pattern_maps", sum(app.pmap_nbytes(m) for m in pmaps))
         if hasattr(self.hasher, "nbytes"):

@@ -163,19 +163,39 @@ class ThreadedExecutor(PartExecutor):
             ended = time.perf_counter()
             return index, result, started - epoch, ended - epoch, threading.get_ident()
 
+        # Bounded in-flight window: the task iterable decodes a part's
+        # embeddings lazily as it is pulled, so submitting everything up
+        # front would materialise the whole level (defeating the spilled
+        # streaming bound).  Keep at most ~2x the pool in flight, pulling
+        # the next task only as completions drain.
+        window = 2 * pool_size
+        task_iter = enumerate(tasks)
         records: dict[int, tuple[Any, float, float, int]] = {}
         with _futures.ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix="kaleido-part"
         ) as pool:
-            pending = [
-                pool.submit(timed, index, task) for index, task in enumerate(tasks)
-            ]
+
+            def fill(pending: set) -> None:
+                while len(pending) < window:
+                    try:
+                        index, task = next(task_iter)
+                    except StopIteration:
+                        return
+                    pending.add(pool.submit(timed, index, task))
+
+            pending: set = set()
             try:
-                for future in _futures.as_completed(pending):
-                    index, result, started, ended, ident = future.result()
-                    records[index] = (result, started, ended, ident)
-                    if on_result is not None:
-                        on_result(index, result)
+                fill(pending)
+                while pending:
+                    done, pending = _futures.wait(
+                        pending, return_when=_futures.FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index, result, started, ended, ident = future.result()
+                        records[index] = (result, started, ended, ident)
+                        if on_result is not None:
+                            on_result(index, result)
+                    fill(pending)
             except BaseException:
                 pool.shutdown(wait=True, cancel_futures=True)
                 raise

@@ -121,8 +121,15 @@ class InMemorySink(LevelSink):
         self._seq = 0
 
     def write_part(self, vert: np.ndarray, index: int | None = None) -> None:
-        key = self._seq if index is None else int(index)
-        self._seq += 1
+        # Only unindexed writes consume the sequence counter, and explicit
+        # indices push it past themselves, so mixing indexed and unindexed
+        # writes can never produce duplicate sort keys.
+        if index is None:
+            key = self._seq
+            self._seq += 1
+        else:
+            key = int(index)
+            self._seq = max(self._seq, key + 1)
         self._parts.append((key, vert))
 
     def finish(self, off: np.ndarray) -> Level:

@@ -62,8 +62,15 @@ class WritingQueue:
         if self._closed:
             raise StorageError("cannot submit to a closed writing queue")
         self._raise_pending()
-        key = self._seq if index is None else int(index)
-        self._seq += 1
+        # Explicit indices must not collide with later unindexed writes:
+        # only the latter consume the sequence counter, and an explicit
+        # index pushes the counter past itself.
+        if index is None:
+            key = self._seq
+            self._seq += 1
+        else:
+            key = int(index)
+            self._seq = max(self._seq, key + 1)
         if self.synchronous:
             self._results.append((key, self.store.save(array, tag=tag)))
         else:

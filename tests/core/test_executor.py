@@ -1,5 +1,6 @@
 """Unit tests for the pluggable part executors."""
 
+import threading
 import time
 
 import pytest
@@ -65,6 +66,39 @@ def test_threaded_uses_multiple_workers():
     assert len(workers_used) > 1
     # Real overlap: the span is shorter than the serial sum.
     assert report.schedule.span_seconds < sum(report.durations)
+
+
+def test_threaded_bounded_inflight_window():
+    """The task iterable is pulled lazily: at most ~2x the pool size of
+    tasks exist without having completed, so a lazily-decoding generator
+    never materialises the whole level up front."""
+    pool = 2
+    lock = threading.Lock()
+    created = 0
+    completed = 0
+    max_outstanding = 0
+
+    def make_task(i):
+        def task():
+            nonlocal completed
+            time.sleep(0.001)
+            with lock:
+                completed += 1
+            return i
+
+        return task
+
+    def tasks():
+        nonlocal created, max_outstanding
+        for i in range(40):
+            with lock:
+                created += 1
+                max_outstanding = max(max_outstanding, created - completed)
+            yield make_task(i)
+
+    report = ThreadedExecutor(max_workers=pool).run(tasks(), workers=pool)
+    assert report.results == list(range(40))
+    assert max_outstanding <= 2 * pool
 
 
 def test_threaded_propagates_task_errors():

@@ -18,6 +18,19 @@ def test_queue_order_preserved(tmp_path, synchronous):
         assert store.load(handle).tolist() == [i] * 4
 
 
+def test_queue_mixed_indexed_and_unindexed_keys(tmp_path):
+    """An unindexed submit after explicit indices must sort after them —
+    the sequence counter skips past every explicit index, so mixing the
+    two styles can never produce duplicate sort keys."""
+    store = PartStore(str(tmp_path))
+    queue = WritingQueue(store, synchronous=True)
+    queue.submit(np.full(2, 1, dtype=np.int32), index=1)
+    queue.submit(np.full(2, 0, dtype=np.int32), index=0)
+    queue.submit(np.full(2, 2, dtype=np.int32))  # unindexed → key 2, not 1
+    handles = queue.close()
+    assert [store.load(h).tolist() for h in handles] == [[0, 0], [1, 1], [2, 2]]
+
+
 def test_queue_flush_mid_stream(tmp_path):
     store = PartStore(str(tmp_path))
     with WritingQueue(store) as queue:

@@ -4,9 +4,12 @@
 Runs 3-motif counting on the tiny citeseer stand-in under the serial
 (work-stealing replay) executor and the real thread-pool executor, and
 writes a ``BENCH_pipeline.json`` record with wall seconds, peak bytes,
-and utilization per executor plus the per-stage phase spans.  Meant as a
-cheap CI guard that the plan → execute → aggregate pipeline stays wired
-up for every executor, not as a performance measurement.
+and utilization per executor plus the per-stage phase spans.  Also
+exercises the crash-recovery path once: a 4-motif run is killed right
+after its first checkpoint and resumed, and the resumed pattern map must
+match an uninterrupted run.  Meant as a cheap CI guard that the
+plan → execute → aggregate pipeline and the resume path stay wired up,
+not as a performance measurement.
 
 Usage::
 
@@ -19,6 +22,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
@@ -40,6 +44,40 @@ def run_one(graph, executor: str) -> dict:
     }
 
 
+class _SimulatedCrash(BaseException):
+    pass
+
+
+def run_resume_smoke(graph) -> dict:
+    """Crash a 4-motif run after its first checkpoint, resume, and verify
+    the resumed pattern map matches an uninterrupted run."""
+    with KaleidoEngine(graph) as engine:
+        straight = engine.run(MotifCounting(4))
+
+    with tempfile.TemporaryDirectory(prefix="kaleido-resume-smoke-") as ckpt:
+        def crash(iteration: int, path: str) -> None:
+            if iteration == 0:
+                raise _SimulatedCrash
+
+        try:
+            KaleidoEngine(graph, checkpoint_dir=ckpt, on_checkpoint=crash).run(
+                MotifCounting(4)
+            )
+            raise RuntimeError("simulated crash did not fire")
+        except _SimulatedCrash:
+            pass
+        with KaleidoEngine(graph, checkpoint_dir=ckpt) as engine:
+            resumed = engine.run(MotifCounting(4), resume=True)
+
+    if resumed.pattern_map != straight.pattern_map:
+        raise RuntimeError("resumed pattern map differs from uninterrupted run")
+    return {
+        "resumed_from_level": resumed.extra["resumed_from_level"],
+        "pattern_counts": sorted(resumed.value.values()),
+        "matches_uninterrupted": True,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_pipeline.json")
@@ -56,10 +94,12 @@ def main(argv=None) -> int:
             print(f"  {run['executor']}: {run['pattern_counts']}", file=sys.stderr)
         return 1
 
+    resume = run_resume_smoke(graph)
     record = {
         "benchmark": "pipeline_smoke",
         "workload": {"app": "motif", "k": 3, "dataset": args.dataset, "profile": "tiny"},
         "runs": runs,
+        "resume_smoke": resume,
     }
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
@@ -69,6 +109,10 @@ def main(argv=None) -> int:
             f"{run['executor']:>10}: {run['wall_seconds']:.3f}s wall, "
             f"{run['peak_bytes']} peak bytes, {run['utilization']:.2f} utilization"
         )
+    print(
+        f"resume smoke: restarted from level {resume['resumed_from_level']}, "
+        f"pattern map matches uninterrupted run"
+    )
     print(f"wrote {args.out}")
     return 0
 

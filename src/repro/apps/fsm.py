@@ -251,6 +251,20 @@ class FrequentSubgraphMining(MiningApplication):
         return keep
 
     # ------------------------------------------------------------------
+    def checkpoint_state(self, ctx: EngineContext) -> dict:
+        # _frequent_edges and the phash memo are rebuilt deterministically
+        # (init reruns on resume); only the accumulated cost counters need
+        # to survive a crash.
+        return {
+            "total_insertions": self.total_insertions,
+            "total_mapped": self.total_mapped,
+        }
+
+    def restore_state(self, ctx: EngineContext, state: dict) -> None:
+        self.total_insertions = state["total_insertions"]
+        self.total_mapped = state["total_mapped"]
+
+    # ------------------------------------------------------------------
     def pmap_nbytes(self, pmap: PatternMap) -> int:
         return sum(120 + dom.nbytes for dom in pmap.values())
 

@@ -25,6 +25,7 @@ from .apps import (
 )
 from .core.engine import KaleidoEngine
 from .core.executor import EXECUTOR_CHOICES
+from .storage.retry import RetryPolicy
 from .graph import (
     PAPER_STATS,
     chung_lu,
@@ -73,6 +74,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--storage", default="auto", choices=["auto", "memory", "spill-last"]
     )
     mine.add_argument("--no-prediction", action="store_true")
+    mine.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write an atomic per-level checkpoint here after each iteration",
+    )
+    mine.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint every N exploration iterations (default 1)",
+    )
+    mine.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the deepest valid checkpoint in --checkpoint-dir",
+    )
+    mine.add_argument(
+        "--io-retries",
+        type=int,
+        default=4,
+        help="total attempts for transient storage faults (default 4; "
+        "1 disables retrying)",
+    )
+    mine.add_argument(
+        "--queue-maxsize",
+        type=int,
+        default=16,
+        help="bound on in-flight arrays in the background writing queue",
+    )
     mine.add_argument("--json", action="store_true", help="machine-readable output")
 
     ds = sub.add_parser("datasets", help="list the dataset registry")
@@ -129,6 +159,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     limit = (
         None if args.memory_limit_mb is None else int(args.memory_limit_mb * 1e6)
     )
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     with KaleidoEngine(
         graph,
         workers=args.workers,
@@ -137,8 +170,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         spill_dir=args.spill_dir,
         use_prediction=not args.no_prediction,
         executor=args.executor,
+        queue_maxsize=args.queue_maxsize,
+        io_retry=RetryPolicy(attempts=args.io_retries),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     ) as engine:
-        result = engine.run(_make_app(args))
+        result = engine.run(_make_app(args), resume=args.resume)
     if args.json:
         payload = {
             "app": result.app_name,
@@ -150,6 +187,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "level_sizes": result.level_sizes,
             "io_bytes_read": result.io_bytes_read,
             "io_bytes_written": result.io_bytes_written,
+            "io_retries": result.extra.get("io_retries"),
+            "io_failed_deletes": result.extra.get("io_failed_deletes"),
+            "io_mode": result.extra.get("io_mode"),
+            "degradations": result.extra.get("degradations"),
+            "resumed_from_level": result.extra.get("resumed_from_level"),
+            "checkpoints_written": result.extra.get("checkpoints_written"),
             "value": _value_payload(result.value),
         }
         print(json.dumps(payload, indent=2))

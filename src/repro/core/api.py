@@ -159,6 +159,22 @@ class MiningApplication:
         return None
 
     # ------------------------------------------------------------------
+    # Mid-run checkpointing (crash recovery)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self, ctx: EngineContext) -> Any:
+        """Cross-iteration state to carry in a mid-run checkpoint.
+
+        Whatever is returned is pickled into the engine's per-level
+        checkpoint and handed back to :meth:`restore_state` on resume.
+        Only state that *accumulates across iterations* belongs here
+        (derived caches are rebuilt; ``init`` runs again on resume);
+        the default ``None`` suits stateless applications."""
+        return None
+
+    def restore_state(self, ctx: EngineContext, state: Any) -> None:
+        """Reinstall :meth:`checkpoint_state`'s value after a resume."""
+
+    # ------------------------------------------------------------------
     def pmap_nbytes(self, pmap: PatternMap) -> int:
         """Accounted size of one PatternMap (override for rich values)."""
         return 160 * len(pmap)

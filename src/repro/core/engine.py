@@ -24,15 +24,22 @@ per-stage wall times are reported in ``MiningResult.phase_spans`` as
 from __future__ import annotations
 
 import logging
+import pickle
 import time
 from functools import partial
 from itertools import islice
+from typing import Callable
+
+import numpy as np
 
 from ..balance.worksteal import Schedule
+from ..errors import BudgetExceededError, DiskFullError, StorageError, TransientStorageError
 from ..graph.edge_index import EdgeIndex
 from ..graph.graph import Graph
+from ..storage.checkpoint import RunCheckpoint
 from ..storage.hybrid import StoragePolicy
 from ..storage.meter import MemoryBudget, MemoryMeter
+from ..storage.retry import RetryPolicy
 from ..storage.spill import PartStore
 from .api import EngineContext, MiningApplication, MiningResult, PatternMap
 from .cse import CSE
@@ -40,6 +47,13 @@ from .eigenhash import PatternHasher
 from .executor import PartExecutor, resolve_executor
 from .explore import expand_edge_level, expand_vertex_level
 from .plan import Planner
+
+#: Storage failures the engine responds to by degrading the I/O mode
+#: (drop prefetch, then synchronous writes) and re-planning the level.
+_DEGRADABLE_ERRORS = (DiskFullError, BudgetExceededError, TransientStorageError)
+
+#: Version tag of the pickled run-state blob inside mid-run checkpoints.
+_RUN_STATE_VERSION = 1
 
 __all__ = ["KaleidoEngine", "aggregate_part"]
 
@@ -103,6 +117,23 @@ class KaleidoEngine:
         ``workers`` threads), or any :class:`PartExecutor` instance.
         Part results are merged in part order, so every executor produces
         identical mining results.
+    queue_maxsize:
+        Bound on the writing queue's in-flight arrays (producer
+        backpressure).
+    io_retry:
+        Retry policy for transient storage faults (capped exponential
+        backoff); defaults to :class:`~repro.storage.retry.RetryPolicy`'s
+        defaults.
+    checkpoint_dir / checkpoint_every:
+        When ``checkpoint_dir`` is set, the engine writes an atomic,
+        checksummed per-level checkpoint after every
+        ``checkpoint_every``-th exploration iteration; crash debris in
+        the directory is garbage-collected at construction, and
+        ``run(app, resume=True)`` restarts from the deepest valid level.
+    on_checkpoint:
+        Optional ``(iteration, path)`` callback fired after each
+        checkpoint lands (operational hook; crash-recovery tests use it
+        to kill the run at exact iteration boundaries).
     """
 
     def __init__(
@@ -119,11 +150,18 @@ class KaleidoEngine:
         prefetch: bool = True,
         max_embeddings: int | None = None,
         executor: "str | PartExecutor" = "serial",
+        queue_maxsize: int = 16,
+        io_retry: RetryPolicy | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
+        on_checkpoint: Callable[[int, str], None] | None = None,
     ) -> None:
         if storage_mode not in ("auto", "memory", "spill-last"):
             raise ValueError(f"unknown storage_mode {storage_mode!r}")
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
         self.graph = graph
         self.workers = workers
         self.hasher = hasher if hasher is not None else PatternHasher()
@@ -140,7 +178,7 @@ class KaleidoEngine:
         self.max_embeddings = max_embeddings
         self.executor = resolve_executor(executor)
         self._store: PartStore | None = (
-            PartStore(spill_dir) if spill_dir is not None else None
+            PartStore(spill_dir, retry=io_retry) if spill_dir is not None else None
         )
         self._policy = StoragePolicy(
             self.budget,
@@ -149,6 +187,8 @@ class KaleidoEngine:
             synchronous_io=synchronous_io,
             prefetch=prefetch,
             force_spill_last=(storage_mode == "spill-last"),
+            queue_maxsize=queue_maxsize,
+            retry=io_retry,
         )
         self.planner = Planner(
             graph,
@@ -159,10 +199,25 @@ class KaleidoEngine:
             storage_mode=storage_mode,
             max_embeddings=max_embeddings,
         )
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
+        self._checkpoints: RunCheckpoint | None = None
+        self._checkpoints_written = 0
+        self._checkpoint_failures = 0
+        if checkpoint_dir is not None:
+            self._checkpoints = RunCheckpoint(checkpoint_dir)
+            self._checkpoints.collect_garbage()
 
     # ------------------------------------------------------------------
-    def run(self, app: MiningApplication) -> MiningResult:
-        """Run one application start to finish and report costs."""
+    def run(self, app: MiningApplication, resume: bool = False) -> MiningResult:
+        """Run one application start to finish and report costs.
+
+        With ``resume=True`` (requires ``checkpoint_dir``), the run
+        restarts from the deepest valid mid-run checkpoint instead of
+        from scratch; an empty or absent checkpoint directory simply
+        starts over.  The resumed run produces the same final pattern
+        map as an uninterrupted one.
+        """
         started = time.perf_counter()
         schedules: list[Schedule] = []
         schedule_phases: list[str] = []
@@ -181,44 +236,68 @@ class KaleidoEngine:
 
         roots = app.init(ctx)
         cse = CSE(roots)
-        self.meter.set("cse", cse.nbytes_in_memory)
-        level_sizes = [cse.size()]
         reduced: PatternMap = {}
+        aggregated = False
+        start_iteration = 0
+        resumed_from: int | None = None
+        if resume:
+            restored = self._restore(ctx, app, roots)
+            if restored is not None:
+                cse, reduced, aggregated, start_iteration, resumed_from = restored
+        self.meter.set("cse", cse.nbytes_in_memory)
+        level_sizes = [cse.size(idx) for idx in range(cse.depth)]
 
         # ---------------- Phase 1: embedding exploration ----------------
         explore_span = 0.0
-        aggregated = False
-        for _ in range(app.iterations()):
-            # Stage 1: plan — costs, part bounds, guard, storage decision.
-            stage_started = time.perf_counter()
-            plan = self.planner.plan_level(ctx, cse)
-            plan_seconds += time.perf_counter() - stage_started
+        total_iterations = app.iterations()
+        if aggregated and cse.size() == 0:
+            # The checkpointed run had already pruned every embedding away;
+            # nothing left to explore.
+            start_iteration = total_iterations
+        for iteration in range(start_iteration, total_iterations):
+            # Stages 1+2: plan then execute, re-planning under a degraded
+            # I/O mode when the device fills up mid-level (the failed
+            # level's partial parts were already discarded by the sink).
+            while True:
+                stage_started = time.perf_counter()
+                try:
+                    plan = self.planner.plan_level(ctx, cse)
+                except _DEGRADABLE_ERRORS as exc:
+                    plan_seconds += time.perf_counter() - stage_started
+                    self._degrade_or_raise("plan", exc)
+                    continue
+                plan_seconds += time.perf_counter() - stage_started
 
-            # Stage 2: execute — per-part expansion through the executor.
-            stage_started = time.perf_counter()
-            if app.induced == "vertex":
-                stats = expand_vertex_level(
-                    self.graph,
-                    cse,
-                    app.embedding_filter,
-                    parts=plan.part_bounds,
-                    sink=plan.sink,
-                    executor=self.executor,
-                    workers=self.workers,
-                )
-            else:
-                assert ctx.edge_index is not None
-                stats = expand_edge_level(
-                    self.graph,
-                    ctx.edge_index,
-                    cse,
-                    app.embedding_filter,
-                    parts=plan.part_bounds,
-                    sink=plan.sink,
-                    executor=self.executor,
-                    workers=self.workers,
-                )
-            execute_seconds += time.perf_counter() - stage_started
+                stage_started = time.perf_counter()
+                try:
+                    if app.induced == "vertex":
+                        stats = expand_vertex_level(
+                            self.graph,
+                            cse,
+                            app.embedding_filter,
+                            parts=plan.part_bounds,
+                            sink=plan.sink,
+                            executor=self.executor,
+                            workers=self.workers,
+                        )
+                    else:
+                        assert ctx.edge_index is not None
+                        stats = expand_edge_level(
+                            self.graph,
+                            ctx.edge_index,
+                            cse,
+                            app.embedding_filter,
+                            parts=plan.part_bounds,
+                            sink=plan.sink,
+                            executor=self.executor,
+                            workers=self.workers,
+                        )
+                except _DEGRADABLE_ERRORS as exc:
+                    execute_seconds += time.perf_counter() - stage_started
+                    self._degrade_or_raise("execute", exc)
+                    continue
+                execute_seconds += time.perf_counter() - stage_started
+                break
 
             schedule = stats.schedule
             assert schedule is not None
@@ -246,8 +325,9 @@ class KaleidoEngine:
                     cse.filter_top_level(mask)
                     level_sizes[-1] = cse.size()
                     self.meter.set("cse", cse.nbytes_in_memory)
-                if cse.size() == 0:
-                    break
+            self._maybe_checkpoint(ctx, app, cse, iteration, reduced, aggregated)
+            if app.aggregate_every_iteration and cse.size() == 0:
+                break
         phase_spans["explore"] = explore_span
 
         # ---------------- Phase 2: pattern aggregation ------------------
@@ -299,9 +379,108 @@ class KaleidoEngine:
                 else None,
                 "spilled_levels": self._policy.spilled_levels,
                 "demoted_levels": self._policy.demoted_levels,
+                "io_mode": self._policy.io_mode,
+                "degradations": list(self._policy.degradations),
+                "resumed_from_level": resumed_from,
+                "checkpoints_written": self._checkpoints_written,
+                "checkpoint_failures": self._checkpoint_failures,
+                "io_retries": self._io_counter("retries"),
+                "io_failed_deletes": self._io_counter("failed_deletes"),
             },
         )
         return result
+
+    # ------------------------------------------------------------------
+    # Robustness plumbing: degradation, checkpointing, resume
+    # ------------------------------------------------------------------
+    def _io_counter(self, name: str) -> int:
+        store = self._policy.store
+        return 0 if store is None else getattr(store.io, name)
+
+    def _degrade_or_raise(self, stage: str, exc: StorageError) -> None:
+        """Step the storage policy down one I/O mode, or re-raise."""
+        step = self._policy.degrade()
+        if step is None:
+            raise exc
+        logger.warning(
+            "storage failure during %s (%s); degrading I/O mode: %s",
+            stage, exc, step,
+        )
+
+    def _maybe_checkpoint(
+        self,
+        ctx: EngineContext,
+        app: MiningApplication,
+        cse: CSE,
+        iteration: int,
+        reduced: PatternMap,
+        aggregated: bool,
+    ) -> None:
+        """Write the per-level checkpoint for one completed iteration.
+
+        Checkpoints are an availability feature, not a correctness one: a
+        failed write is logged and counted, and the run carries on (the
+        previous checkpoint, if any, stays valid — saves are atomic).
+        """
+        if self._checkpoints is None or (iteration + 1) % self.checkpoint_every:
+            return
+        state = {
+            "version": _RUN_STATE_VERSION,
+            "app": app.name,
+            "iteration": iteration,
+            "aggregated": aggregated,
+            "reduced": reduced,
+            "app_state": app.checkpoint_state(ctx),
+        }
+        try:
+            path = self._checkpoints.save(iteration, cse, pickle.dumps(state))
+        except StorageError as exc:
+            self._checkpoint_failures += 1
+            logger.warning(
+                "checkpoint after iteration %d failed (run continues): %s",
+                iteration, exc,
+            )
+            return
+        self._checkpoints_written += 1
+        logger.debug("checkpointed iteration %d at %s", iteration, path)
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(iteration, path)
+
+    def _restore(
+        self, ctx: EngineContext, app: MiningApplication, roots: np.ndarray
+    ) -> tuple[CSE, PatternMap, bool, int, int] | None:
+        """Load the deepest valid checkpoint; None means start fresh."""
+        if self._checkpoints is None:
+            raise ValueError("resume=True requires a checkpoint_dir")
+        restored = self._checkpoints.latest()
+        if restored is None:
+            logger.info("no valid checkpoint found; starting from scratch")
+            return None
+        iteration, cse, payload = restored
+        try:
+            state = pickle.loads(payload)
+        except Exception as exc:  # CRC passed but the blob is unusable
+            raise StorageError(f"cannot decode checkpoint run state: {exc}") from exc
+        if state.get("version") != _RUN_STATE_VERSION:
+            raise StorageError(
+                f"unsupported run-state version {state.get('version')!r}"
+            )
+        if state.get("app") != app.name:
+            raise StorageError(
+                f"checkpoint belongs to {state.get('app')!r}, not {app.name!r}"
+            )
+        if not np.array_equal(cse.levels[0].vert_array(), roots):
+            raise StorageError(
+                "checkpoint root level does not match the application's seeds "
+                "(different graph or parameters?)"
+            )
+        if state.get("app_state") is not None:
+            app.restore_state(ctx, state["app_state"])
+        logger.info(
+            "resuming %s from checkpoint level %d (depth %d, %d embeddings)",
+            app.name, iteration, cse.depth, cse.size(),
+        )
+        return cse, state["reduced"], bool(state["aggregated"]), iteration + 1, iteration
 
     # ------------------------------------------------------------------
     def _aggregate(

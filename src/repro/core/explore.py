@@ -364,7 +364,14 @@ def _run_expansion(
 
     off = np.zeros(total + 1, dtype=np.int64)
     np.cumsum(counts, out=off[1:])
-    cse.append_level(sink.finish(off))
+    try:
+        cse.append_level(sink.finish(off))
+    except BaseException:
+        # finish() may surface a background-writer error (or an off/vert
+        # mismatch); discard whatever parts already landed so a failed
+        # level never leaks spill files.
+        sink.abort()
+        raise
     return stats
 
 

@@ -50,6 +50,10 @@ class LevelPlan:
     #: The sink to expand into; None means plain in-memory (storage_mode
     #: "memory", where no policy is consulted at all).
     sink: LevelSink | None
+    #: The storage policy's I/O mode when this plan was made (e.g.
+    #: "async+prefetch", or "sync+no-prefetch" after degradation) —
+    #: "memory" when no policy was consulted.
+    io_mode: str = "memory"
 
     @property
     def num_parts(self) -> int:
@@ -125,9 +129,11 @@ class Planner:
             predicted_entries = cse.size() * max(1, int(self.graph.average_degree))
         sink: LevelSink | None = None
         spill = False
+        io_mode = "memory"
         if self.storage_mode != "memory":
             sink = self.policy.sink_for_next_level(cse, predicted_entries)
             spill = not isinstance(sink, InMemorySink)
+            io_mode = self.policy.io_mode
         return LevelPlan(
             depth=cse.depth,
             size=cse.size(),
@@ -136,6 +142,7 @@ class Planner:
             predicted_entries=predicted_entries,
             spill=spill,
             sink=sink,
+            io_mode=io_mode,
         )
 
     def plan_aggregate(

@@ -31,6 +31,34 @@ class StorageError(KaleidoError):
     """The hybrid storage layer failed to read or write a spilled part."""
 
 
+class TransientStorageError(StorageError):
+    """A retryable I/O failure persisted past the retry budget.
+
+    Raised when an operation kept failing with errors the retry policy
+    classifies as transient (``EAGAIN``/``EINTR``/``EIO``/``EBUSY``) even
+    after capped exponential backoff.  The operation left no partial
+    state behind — retrying later, or degrading the I/O mode, is safe.
+    """
+
+
+class CorruptPartError(StorageError):
+    """An on-disk part or checkpoint file failed integrity validation.
+
+    A checksum mismatch, a truncated payload, or a length that disagrees
+    with the part's handle.  Never retried: the bytes on disk are wrong,
+    and surfacing the corruption beats silently computing a wrong answer.
+    """
+
+
+class DiskFullError(StorageError):
+    """The storage device is out of space (``ENOSPC``/``EDQUOT``).
+
+    Not retryable as-is, but the engine can degrade — drop prefetch,
+    shrink the sliding window, fall back to synchronous writes — before
+    giving up.
+    """
+
+
 class BudgetExceededError(StorageError):
     """A memory budget was exceeded and spilling could not reclaim space."""
 

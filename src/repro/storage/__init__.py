@@ -1,9 +1,11 @@
 """Hybrid half-memory-half-disk storage for large intermediate data."""
 
-from .checkpoint import load_cse, save_cse
+from .checkpoint import RunCheckpoint, load_cse, save_cse
+from .faults import FaultPlan, FaultSpec, FaultyPartStore
 from .hybrid import SpillingSink, StoragePolicy, spill_level
 from .meter import IOEvent, IOStats, MemoryBudget, MemoryMeter
 from .queue import WritingQueue
+from .retry import RetryPolicy
 from .spill import PartHandle, PartStore, SpilledLevel
 from .window import SlidingWindowReader
 
@@ -22,4 +24,9 @@ __all__ = [
     "spill_level",
     "save_cse",
     "load_cse",
+    "RunCheckpoint",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyPartStore",
 ]

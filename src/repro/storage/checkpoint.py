@@ -6,52 +6,163 @@ level plus a JSON manifest.  A later process can reload the CSE and keep
 exploring (or aggregate) without redoing earlier iterations; spilled
 levels are materialised through their chunk iterator, so checkpointing
 works in hybrid mode too.
+
+Checkpoints are *crash-safe*: every array is written atomically under a
+fresh nonce-suffixed name, the manifest — which carries a format version
+and a CRC32 per referenced file — is renamed into place last, and only
+then are files the new manifest no longer references removed.  A crash
+at any point leaves either the old complete checkpoint or the new one,
+never a half-overwritten hybrid.  ``load_cse`` verifies every checksum
+and cross-checks each level's ``off`` array against its ``vert`` array
+(``off[0] == 0``, non-decreasing, ``off[-1] == len(vert)``) so a corrupt
+checkpoint fails at load time instead of deep inside exploration.
+
+:class:`RunCheckpoint` builds on this to give the engine mid-run crash
+recovery: one ``level-NNN/`` checkpoint directory per completed
+iteration, each a full CSE checkpoint plus an opaque run-state blob, with
+startup garbage collection of temp files and invalid directories and
+``latest()`` returning the deepest valid level to resume from.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import logging
 import os
+import re
+import shutil
+import uuid
+import zlib
 
 import numpy as np
 
 from ..core.cse import CSE, InMemoryLevel
-from ..errors import StorageError
+from ..errors import CorruptPartError, StorageError
 
-__all__ = ["save_cse", "load_cse"]
+__all__ = ["save_cse", "load_cse", "RunCheckpoint"]
+
+logger = logging.getLogger("repro.storage")
 
 _MANIFEST = "cse_manifest.json"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_TMP_SUFFIX = ".tmp"
+_LEVEL_DIR_RE = re.compile(r"^level-(\d{3,})$")
 
 
-def save_cse(cse: CSE, directory: str | os.PathLike[str]) -> None:
-    """Write every level of ``cse`` into ``directory``.
+def _atomic_write(path: str, payload: bytes) -> None:
+    """Write ``payload`` at ``path`` via temp file → fsync → rename."""
+    tmp_path = f"{path}-{uuid.uuid4().hex[:8]}{_TMP_SUFFIX}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
 
-    The directory is created if needed; an existing checkpoint there is
-    overwritten atomically enough for our purposes (manifest last).
+
+def _array_payload(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def _read_checked(directory: str, name: str, crc: int | None) -> bytes:
+    path = os.path.join(directory, name)
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+    except OSError as exc:
+        raise StorageError(f"missing checkpoint file {path}: {exc}") from exc
+    if crc is not None and zlib.crc32(payload) != crc:
+        raise CorruptPartError(f"checksum mismatch for checkpoint file {path}")
+    return payload
+
+
+def _load_array(directory: str, name: str, crc: int | None) -> np.ndarray:
+    payload = _read_checked(directory, name, crc)
+    try:
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+    except (ValueError, EOFError, OSError) as exc:
+        raise CorruptPartError(
+            f"undecodable checkpoint file {os.path.join(directory, name)}: {exc}"
+        ) from exc
+
+
+def save_cse(
+    cse: CSE,
+    directory: str | os.PathLike[str],
+    extra_files: dict[str, bytes] | None = None,
+    extra_meta: dict | None = None,
+) -> None:
+    """Write every level of ``cse`` into ``directory``, crash-safely.
+
+    Array files land under fresh nonce-suffixed names, the manifest is
+    renamed into place last, and files a previous checkpoint left behind
+    are removed only after the new manifest is durable — so an existing
+    checkpoint in ``directory`` stays loadable if this save dies at any
+    point.  ``extra_files`` are opaque payloads stored alongside the
+    levels (checksummed in the manifest); ``extra_meta`` is merged into
+    the manifest object.
     """
     directory = os.fspath(directory)
     os.makedirs(directory, exist_ok=True)
+    nonce = uuid.uuid4().hex[:8]
+    referenced: set[str] = set()
     levels_meta = []
     for idx, level in enumerate(cse.levels):
-        vert_path = os.path.join(directory, f"level{idx}_vert.npy")
         chunks = list(level.iter_vert_chunks())
         vert = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int32)
-        np.save(vert_path, vert, allow_pickle=False)
-        entry = {"vert": os.path.basename(vert_path), "count": int(vert.shape[0])}
+        vert_name = f"level{idx}_vert-{nonce}.npy"
+        payload = _array_payload(vert)
+        _atomic_write(os.path.join(directory, vert_name), payload)
+        referenced.add(vert_name)
+        entry = {
+            "vert": vert_name,
+            "count": int(vert.shape[0]),
+            "crc_vert": zlib.crc32(payload),
+        }
         off = level.off_array()
         if off is not None:
-            off_path = os.path.join(directory, f"level{idx}_off.npy")
-            np.save(off_path, off, allow_pickle=False)
-            entry["off"] = os.path.basename(off_path)
+            off_name = f"level{idx}_off-{nonce}.npy"
+            payload = _array_payload(off)
+            _atomic_write(os.path.join(directory, off_name), payload)
+            referenced.add(off_name)
+            entry["off"] = off_name
+            entry["crc_off"] = zlib.crc32(payload)
         levels_meta.append(entry)
-    manifest = {"version": _FORMAT_VERSION, "levels": levels_meta}
-    with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
+    files_meta: dict[str, dict] = {}
+    for name, payload in (extra_files or {}).items():
+        stored = f"{os.path.splitext(name)[0]}-{nonce}{os.path.splitext(name)[1]}"
+        _atomic_write(os.path.join(directory, stored), payload)
+        referenced.add(stored)
+        files_meta[name] = {"file": stored, "crc32": zlib.crc32(payload)}
+    manifest = {"version": _FORMAT_VERSION, "levels": levels_meta, "files": files_meta}
+    if extra_meta:
+        manifest.update(extra_meta)
+    _atomic_write(
+        os.path.join(directory, _MANIFEST),
+        json.dumps(manifest, indent=2).encode("utf-8"),
+    )
+    # The new manifest is durable; now drop files it no longer references.
+    for name in os.listdir(directory):
+        if name == _MANIFEST or name in referenced:
+            continue
+        if name.endswith(".npy") or name.endswith(_TMP_SUFFIX) or name.endswith(".pkl"):
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
 
 
-def load_cse(directory: str | os.PathLike[str]) -> CSE:
-    """Reload a checkpointed CSE (all levels in memory)."""
+def read_manifest(directory: str | os.PathLike[str]) -> dict:
+    """Read and version-check a checkpoint manifest."""
     directory = os.fspath(directory)
     manifest_path = os.path.join(directory, _MANIFEST)
     try:
@@ -59,25 +170,184 @@ def load_cse(directory: str | os.PathLike[str]) -> CSE:
             manifest = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(f"cannot read CSE manifest at {manifest_path}: {exc}") from exc
-    if manifest.get("version") != _FORMAT_VERSION:
+    if manifest.get("version") not in (1, _FORMAT_VERSION):
         raise StorageError(
             f"unsupported CSE checkpoint version {manifest.get('version')!r}"
         )
+    return manifest
+
+
+def read_extra_file(directory: str | os.PathLike[str], manifest: dict, name: str) -> bytes:
+    """Read one ``extra_files`` payload recorded in ``manifest``."""
+    entry = manifest.get("files", {}).get(name)
+    if entry is None:
+        raise StorageError(f"checkpoint has no stored file {name!r}")
+    return _read_checked(os.fspath(directory), entry["file"], entry.get("crc32"))
+
+
+def _validate_level(
+    idx: int, vert: np.ndarray, off: np.ndarray, entry: dict
+) -> None:
+    """Cross-check a level's off array against its vert array."""
+    if off.ndim != 1 or off.shape[0] < 1:
+        raise StorageError(f"checkpoint level {idx} has a malformed off array")
+    if int(off[0]) != 0:
+        raise StorageError(
+            f"checkpoint level {idx} off array starts at {int(off[0])}, not 0"
+        )
+    if np.any(np.diff(off) < 0):
+        raise StorageError(f"checkpoint level {idx} off array is not non-decreasing")
+    if int(off[-1]) != vert.shape[0]:
+        raise StorageError(
+            f"checkpoint level {idx} off spans {int(off[-1])} entries but "
+            f"vert holds {vert.shape[0]}"
+        )
+    count = entry.get("count")
+    if count is not None and int(count) != vert.shape[0]:
+        raise StorageError(
+            f"checkpoint level {idx} manifest says {count} entries but "
+            f"vert holds {vert.shape[0]}"
+        )
+
+
+def load_cse(directory: str | os.PathLike[str]) -> CSE:
+    """Reload a checkpointed CSE (all levels in memory), fully validated."""
+    directory = os.fspath(directory)
+    manifest = read_manifest(directory)
     levels_meta = manifest.get("levels", [])
     if not levels_meta:
         raise StorageError("checkpoint contains no levels")
-    try:
-        root_vert = np.load(
-            os.path.join(directory, levels_meta[0]["vert"]), allow_pickle=False
+    root_entry = levels_meta[0]
+    root_vert = _load_array(directory, root_entry["vert"], root_entry.get("crc_vert"))
+    count = root_entry.get("count")
+    if count is not None and int(count) != root_vert.shape[0]:
+        raise StorageError(
+            f"checkpoint root level manifest says {count} entries but "
+            f"vert holds {root_vert.shape[0]}"
         )
-    except OSError as exc:
-        raise StorageError(f"missing checkpoint level file: {exc}") from exc
     cse = CSE(root_vert)
-    for entry in levels_meta[1:]:
+    for idx, entry in enumerate(levels_meta[1:], start=1):
         try:
-            vert = np.load(os.path.join(directory, entry["vert"]), allow_pickle=False)
-            off = np.load(os.path.join(directory, entry["off"]), allow_pickle=False)
-        except (OSError, KeyError) as exc:
+            vert_name, off_name = entry["vert"], entry["off"]
+        except KeyError as exc:
             raise StorageError(f"corrupt checkpoint entry {entry!r}: {exc}") from exc
-        cse.append_level(InMemoryLevel(vert, off))
+        vert = _load_array(directory, vert_name, entry.get("crc_vert"))
+        off = _load_array(directory, off_name, entry.get("crc_off"))
+        _validate_level(idx, vert, off, entry)
+        try:
+            cse.append_level(InMemoryLevel(vert, off))
+        except ValueError as exc:
+            raise StorageError(
+                f"checkpoint level {idx} is inconsistent with its parent: {exc}"
+            ) from exc
     return cse
+
+
+class RunCheckpoint:
+    """Per-iteration engine checkpoints under one directory.
+
+    Layout: ``<dir>/level-000/``, ``<dir>/level-001/``, ... — one full
+    CSE checkpoint (manifest-last, checksummed) per completed iteration,
+    each carrying an opaque run-state blob under ``run_state.pkl``.
+    """
+
+    STATE_FILE = "run_state.pkl"
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _level_dirs(self) -> list[tuple[int, str]]:
+        """(iteration, path) pairs of level directories, deepest first."""
+        found: list[tuple[int, str]] = []
+        for name in os.listdir(self.directory):
+            match = _LEVEL_DIR_RE.match(name)
+            path = os.path.join(self.directory, name)
+            if match and os.path.isdir(path):
+                found.append((int(match.group(1)), path))
+        found.sort(reverse=True)
+        return found
+
+    def level_path(self, iteration: int) -> str:
+        return os.path.join(self.directory, f"level-{iteration:03d}")
+
+    # ------------------------------------------------------------------
+    def save(self, iteration: int, cse: CSE, state: bytes) -> str:
+        """Checkpoint one completed iteration; returns the level directory."""
+        path = self.level_path(iteration)
+        save_cse(
+            cse,
+            path,
+            extra_files={self.STATE_FILE: state},
+            extra_meta={"iteration": iteration},
+        )
+        return path
+
+    def latest(self) -> tuple[int, CSE, bytes] | None:
+        """Deepest fully-valid checkpoint as ``(iteration, cse, state)``.
+
+        Invalid deeper checkpoints (torn by a crash mid-save, corrupted
+        on disk) are skipped with a warning; validation covers the
+        manifest, every checksum, and the off/vert cross-checks.
+        """
+        for iteration, path in self._level_dirs():
+            try:
+                manifest = read_manifest(path)
+                cse = load_cse(path)
+                state = read_extra_file(path, manifest, self.STATE_FILE)
+            except StorageError as exc:
+                logger.warning(
+                    "skipping invalid checkpoint %s during resume: %s", path, exc
+                )
+                continue
+            return iteration, cse, state
+        return None
+
+    def collect_garbage(self) -> int:
+        """Remove crash debris: temp files, files a manifest no longer
+        references, and level directories with no readable manifest.
+        Returns the number of filesystem entries removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory vanished
+            return 0
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if name.endswith(_TMP_SUFFIX) and os.path.isfile(path):
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        for _, path in self._level_dirs():
+            try:
+                manifest = read_manifest(path)
+            except StorageError:
+                shutil.rmtree(path, ignore_errors=True)
+                removed += 1
+                continue
+            referenced = {entry["vert"] for entry in manifest.get("levels", [])}
+            referenced.update(
+                entry["off"] for entry in manifest.get("levels", []) if "off" in entry
+            )
+            referenced.update(
+                meta["file"] for meta in manifest.get("files", {}).values()
+            )
+            for name in os.listdir(path):
+                if name == _MANIFEST or name in referenced:
+                    continue
+                try:
+                    os.remove(os.path.join(path, name))
+                    removed += 1
+                except OSError:
+                    pass
+        if removed:
+            logger.warning(
+                "garbage-collected %d orphaned checkpoint entr%s under %s",
+                removed,
+                "y" if removed == 1 else "ies",
+                self.directory,
+            )
+        return removed

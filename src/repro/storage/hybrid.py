@@ -13,6 +13,13 @@ Glue between the explorer and the spill machinery:
   prediction for the next level.  The decision (:meth:`should_spill`) and
   the sink construction (:meth:`make_sink`) are separate so the planner
   can record the choice in its :class:`~repro.core.plan.LevelPlan`.
+
+The policy is also the engine's degradation lever: when the device runs
+out of space mid-level (:class:`~repro.errors.DiskFullError`) or the
+memory budget cannot be honoured, :meth:`StoragePolicy.degrade` steps the
+I/O mode down — first dropping prefetch (shrinking the sliding window to
+a single part), then falling back to synchronous writes — and the engine
+re-plans the failed iteration under the reduced mode before giving up.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from ..core.cse import CSE, InMemoryLevel, Level
 from ..core.explore import InMemorySink, LevelSink
 from .meter import MemoryBudget, MemoryMeter
 from .queue import WritingQueue
+from .retry import RetryPolicy
 from .spill import PartStore, SpilledLevel
 
 __all__ = ["SpillingSink", "spill_level", "StoragePolicy"]
@@ -37,10 +45,11 @@ class SpillingSink(LevelSink):
         synchronous: bool = False,
         prefetch: bool = True,
         tag: str = "vert",
+        queue_maxsize: int = 16,
     ) -> None:
         self.store = store
         self.prefetch = prefetch
-        self._queue = WritingQueue(store, synchronous=synchronous)
+        self._queue = WritingQueue(store, synchronous=synchronous, maxsize=queue_maxsize)
         self._tag = tag
 
     def write_part(self, vert: np.ndarray, index: int | None = None) -> None:
@@ -90,6 +99,8 @@ class StoragePolicy:
         synchronous_io: bool = False,
         prefetch: bool = True,
         force_spill_last: bool = False,
+        queue_maxsize: int = 16,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.budget = budget
         self.meter = meter
@@ -97,13 +108,43 @@ class StoragePolicy:
         self.synchronous_io = synchronous_io
         self.prefetch = prefetch
         self.force_spill_last = force_spill_last
+        self.queue_maxsize = queue_maxsize
+        self.retry = retry
         self.spilled_levels = 0
         self.demoted_levels = 0
+        #: Degradation steps applied so far, in order.
+        self.degradations: list[str] = []
 
     def _ensure_store(self) -> PartStore:
         if self.store is None:
-            self.store = PartStore()
+            self.store = PartStore(retry=self.retry)
         return self.store
+
+    @property
+    def io_mode(self) -> str:
+        """Human-readable current write/read mode (recorded per plan)."""
+        write = "sync" if self.synchronous_io else "async"
+        read = "prefetch" if self.prefetch else "no-prefetch"
+        return f"{write}+{read}"
+
+    def degrade(self) -> str | None:
+        """Step the I/O mode down after a disk-full or budget failure.
+
+        Returns the step applied (``"prefetch-off"`` shrinks the sliding
+        window to a single part and stops read-ahead;
+        ``"synchronous-io"`` drops the background writer so at most one
+        part is ever buffered), or ``None`` when already fully degraded —
+        the caller should give up and re-raise.
+        """
+        if self.prefetch:
+            self.prefetch = False
+            self.degradations.append("prefetch-off")
+            return "prefetch-off"
+        if not self.synchronous_io:
+            self.synchronous_io = True
+            self.degradations.append("synchronous-io")
+            return "synchronous-io"
+        return None
 
     def should_spill(self, predicted_entries: int, bytes_per_entry: int = 4) -> bool:
         """Whether the next level must go to disk."""
@@ -130,6 +171,7 @@ class StoragePolicy:
             synchronous=self.synchronous_io,
             prefetch=self.prefetch,
             tag=f"vert{cse.depth + 1}",
+            queue_maxsize=self.queue_maxsize,
         )
 
     def sink_for_next_level(

@@ -100,6 +100,12 @@ class IOStats:
     bytes_written: int = 0
     read_seconds: float = 0.0
     write_seconds: float = 0.0
+    #: Part-file deletions attempted and how many failed — a non-zero
+    #: failure count means spill files may have leaked on disk.
+    deletes: int = 0
+    failed_deletes: int = 0
+    #: Transient-fault retries performed (each one slept a backoff).
+    retries: int = 0
     events: list[IOEvent] = field(default_factory=list)
     epoch: float = field(default_factory=time.perf_counter)
 
@@ -116,12 +122,25 @@ class IOStats:
             IOEvent(time.perf_counter() - self.epoch, kind, nbytes, seconds)
         )
 
+    def record_delete(self, ok: bool) -> None:
+        """Count one part-file deletion attempt."""
+        self.deletes += 1
+        if not ok:
+            self.failed_deletes += 1
+
+    def record_retry(self) -> None:
+        """Count one transient-fault retry."""
+        self.retries += 1
+
     def merge(self, other: "IOStats") -> None:
         """Fold another stats object into this one (queues keep their own)."""
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.read_seconds += other.read_seconds
         self.write_seconds += other.write_seconds
+        self.deletes += other.deletes
+        self.failed_deletes += other.failed_deletes
+        self.retries += other.retries
         self.events.extend(other.events)
 
     def rate_series(self, kind: str, bins: int = 20) -> list[tuple[float, float]]:

@@ -11,6 +11,13 @@ flush time so the assembled level is deterministic.  ``close()`` is
 idempotent (it caches its handle list), and ``discard()`` stops the queue
 and deletes every part it wrote — the error path when an executor raises
 mid-level.
+
+The writer retries saves that fail with
+:class:`~repro.errors.TransientStorageError` under its own
+:class:`~repro.storage.retry.RetryPolicy` (on top of the store's
+internal per-syscall retries), so a burst of transient faults longer
+than the store's budget still drains through the queue instead of
+aborting the level.
 """
 
 from __future__ import annotations
@@ -21,7 +28,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import StorageError
+from ..errors import StorageError, TransientStorageError
+from .retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .spill import PartHandle, PartStore
@@ -35,11 +43,24 @@ class WritingQueue:
     """Asynchronous part writer preserving part order.
 
     Set ``synchronous=True`` to write inline (deterministic tests).
+    ``maxsize`` bounds the number of in-flight arrays (backpressure on
+    the producers); ``retry`` governs writer-level re-attempts when the
+    store gives up on a save with a transient error.
     """
 
-    def __init__(self, store: "PartStore", synchronous: bool = False) -> None:
+    def __init__(
+        self,
+        store: "PartStore",
+        synchronous: bool = False,
+        maxsize: int = 16,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
         self.store = store
         self.synchronous = synchronous
+        self.maxsize = maxsize
+        self.retry = retry if retry is not None else RetryPolicy(attempts=2)
         #: (sort key, handle) pairs; the key is the submitted part index,
         #: falling back to the submission sequence number.
         self._results: list[tuple[int, "PartHandle"]] = []
@@ -48,13 +69,24 @@ class WritingQueue:
         self._closed = False
         self._cached: list["PartHandle"] | None = None
         if not synchronous:
-            self._queue: queue.Queue = queue.Queue(maxsize=16)
+            self._queue: queue.Queue = queue.Queue(maxsize=maxsize)
             self._thread = threading.Thread(
                 target=self._run, name="kaleido-writer", daemon=True
             )
             self._thread.start()
 
     # ------------------------------------------------------------------
+    def _save_with_retry(self, array: np.ndarray, tag: str) -> "PartHandle":
+        """Save through the store, re-attempting exhausted transients."""
+        for attempt in range(self.retry.attempts):
+            try:
+                return self.store.save(array, tag=tag)
+            except TransientStorageError:
+                if attempt + 1 >= self.retry.attempts:
+                    raise
+                self.retry.backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def submit(
         self, array: np.ndarray, tag: str = "part", index: int | None = None
     ) -> None:
@@ -72,7 +104,7 @@ class WritingQueue:
             key = int(index)
             self._seq = max(self._seq, key + 1)
         if self.synchronous:
-            self._results.append((key, self.store.save(array, tag=tag)))
+            self._results.append((key, self._save_with_retry(array, tag)))
         else:
             self._queue.put((key, array, tag))
 
@@ -135,7 +167,7 @@ class WritingQueue:
                 return
             key, array, tag = item
             try:
-                self._results.append((key, self.store.save(array, tag=tag)))
+                self._results.append((key, self._save_with_retry(array, tag)))
             except BaseException as exc:  # surfaced on next submit/flush
                 self._error = exc
             finally:
@@ -144,4 +176,9 @@ class WritingQueue:
     def _raise_pending(self) -> None:
         if self._error is not None:
             error, self._error = self._error, None
-            raise StorageError(f"background writer failed: {error}") from error
+            # Preserve the storage taxonomy: the engine reacts differently
+            # to DiskFullError / TransientStorageError than to a plain
+            # StorageError, even when the failure happened on the writer
+            # thread.
+            wrapper = type(error) if isinstance(error, StorageError) else StorageError
+            raise wrapper(f"background writer failed: {error}") from error

@@ -4,82 +4,229 @@ A spilled level's vertex array lives on disk as a sequence of per-part
 ``.npy`` files, produced by the per-thread partitioning of the exploration;
 the offset array stays in memory when it fits, mirroring the paper's
 "merge t parts of off in memory" rule.
+
+Every part write is *atomic* (temp file → fsync → rename, so a part is
+either whole or absent — a crash never leaves a torn file under a final
+name) and *checksummed* (a CRC32 carried on the :class:`PartHandle` and
+verified on load, so silent corruption raises
+:class:`~repro.errors.CorruptPartError` instead of producing a wrong
+answer).  Transient I/O failures are retried with capped exponential
+backoff per the store's :class:`~repro.storage.retry.RetryPolicy`; the
+raw byte-level operations are isolated in ``_write_payload`` /
+``_read_payload`` / ``_remove_file`` hooks so the fault-injection layer
+(:mod:`repro.storage.faults`) can subclass the store and misbehave
+underneath the retry and integrity machinery.
 """
 
 from __future__ import annotations
 
+import io
+import logging
 import os
 import shutil
 import tempfile
 import time
 import uuid
+import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
-from ..errors import StorageError
+from ..errors import CorruptPartError, DiskFullError, StorageError, TransientStorageError
 from .meter import IOStats
+from .retry import RetryPolicy, is_disk_full_oserror, is_transient_oserror
 from .window import SlidingWindowReader
 
 __all__ = ["PartHandle", "PartStore", "SpilledLevel"]
 
+logger = logging.getLogger("repro.storage")
+
+#: Suffix of in-flight temp files; anything left over is a crash orphan.
+_TMP_SUFFIX = ".tmp"
+
 
 @dataclass(frozen=True)
 class PartHandle:
-    """One on-disk array part."""
+    """One on-disk array part.
+
+    ``checksum`` is the CRC32 of the serialized payload; ``None`` only
+    for handles created before checksumming existed (never verified).
+    """
 
     path: str
     length: int
     nbytes: int
+    checksum: int | None = None
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry so a rename survives a crash (best effort)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 class PartStore:
     """Owns a spill directory and tracks every byte moved through it."""
 
-    def __init__(self, directory: str | None = None) -> None:
+    def __init__(
+        self, directory: str | None = None, retry: RetryPolicy | None = None
+    ) -> None:
         if directory is None:
             self._tmp = tempfile.mkdtemp(prefix="kaleido-spill-")
             self.directory = self._tmp
         else:
+            existed = os.path.isdir(directory)
             os.makedirs(directory, exist_ok=True)
             self._tmp = None
             self.directory = directory
+            if existed:
+                self._collect_orphans()
+        self.retry = retry if retry is not None else RetryPolicy()
         self.io = IOStats()
         self._counter = 0
 
+    # ------------------------------------------------------------------
+    # Raw byte-level operations — the fault-injection seam.
+    # ------------------------------------------------------------------
+    def _write_payload(self, path: str, payload: bytes) -> None:
+        """Atomically materialise ``payload`` at ``path`` (tmp → fsync →
+        rename); on any failure the temp file is removed and ``path`` is
+        untouched."""
+        tmp_path = f"{path}{_TMP_SUFFIX}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(os.path.dirname(path) or ".")
+
+    def _read_payload(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def _remove_file(self, path: str) -> None:
+        os.remove(path)
+
+    # ------------------------------------------------------------------
+    def _collect_orphans(self) -> None:
+        """Remove temp files a crashed run left in a reused directory."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        for name in names:
+            if name.endswith(_TMP_SUFFIX):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        if removed:
+            logger.warning(
+                "removed %d orphaned temp file(s) from %s", removed, self.directory
+            )
+
+    @staticmethod
+    def _classify(exc: OSError, path: str, verb: str) -> StorageError:
+        """Map a non-retryable OSError onto the storage taxonomy."""
+        if is_disk_full_oserror(exc):
+            return DiskFullError(f"no space left while {verb} {path}: {exc}")
+        return StorageError(f"failed {verb} {path}: {exc}")
+
+    def _with_retries(self, operation, path: str, verb: str):
+        """Run ``operation`` under the retry policy; raises the taxonomy."""
+        last: OSError | None = None
+        for attempt in range(self.retry.attempts):
+            try:
+                return operation()
+            except OSError as exc:
+                if not is_transient_oserror(exc):
+                    raise self._classify(exc, path, verb) from exc
+                last = exc
+                if attempt + 1 < self.retry.attempts:
+                    self.io.record_retry()
+                    self.retry.backoff(attempt)
+        raise TransientStorageError(
+            f"still failing {verb} {path} after {self.retry.attempts} "
+            f"attempts: {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
     def save(self, array: np.ndarray, tag: str = "part") -> PartHandle:
         """Write an array as one part file; returns its handle."""
         self._counter += 1
         path = os.path.join(
             self.directory, f"{tag}-{self._counter:06d}-{uuid.uuid4().hex[:8]}.npy"
         )
+        buffer = io.BytesIO()
+        np.save(buffer, array, allow_pickle=False)
+        payload = buffer.getvalue()
+        checksum = zlib.crc32(payload)
         started = time.perf_counter()
-        try:
-            np.save(path, array, allow_pickle=False)
-        except OSError as exc:
-            raise StorageError(f"failed to write spill part {path}: {exc}") from exc
-        elapsed = time.perf_counter() - started
-        nbytes = os.path.getsize(path)
-        self.io.record("write", nbytes, elapsed)
-        return PartHandle(path=path, length=int(array.shape[0]), nbytes=nbytes)
+        self._with_retries(
+            lambda: self._write_payload(path, payload), path, "writing spill part"
+        )
+        self.io.record("write", len(payload), time.perf_counter() - started)
+        return PartHandle(
+            path=path,
+            length=int(array.shape[0]),
+            nbytes=len(payload),
+            checksum=checksum,
+        )
 
     def load(self, handle: PartHandle) -> np.ndarray:
-        """Read one part back."""
+        """Read one part back, verifying its checksum and length."""
         started = time.perf_counter()
+        payload = self._with_retries(
+            lambda: self._read_payload(handle.path), handle.path, "reading spill part"
+        )
+        if handle.checksum is not None and zlib.crc32(payload) != handle.checksum:
+            raise CorruptPartError(
+                f"checksum mismatch for spill part {handle.path} "
+                f"({len(payload)} bytes read, {handle.nbytes} written)"
+            )
         try:
-            array = np.load(handle.path, allow_pickle=False)
-        except OSError as exc:
-            raise StorageError(f"failed to read spill part {handle.path}: {exc}") from exc
-        self.io.record("read", handle.nbytes, time.perf_counter() - started)
+            array = np.load(io.BytesIO(payload), allow_pickle=False)
+        except (ValueError, EOFError, OSError) as exc:
+            raise CorruptPartError(
+                f"undecodable spill part {handle.path}: {exc}"
+            ) from exc
+        if int(array.shape[0]) != handle.length:
+            raise CorruptPartError(
+                f"spill part {handle.path} holds {array.shape[0]} entries, "
+                f"expected {handle.length}"
+            )
+        self.io.record("read", len(payload), time.perf_counter() - started)
         return array
 
     def delete(self, handle: PartHandle) -> None:
-        """Remove one part file (best effort)."""
+        """Remove one part file (best effort, but counted and logged)."""
         try:
-            os.remove(handle.path)
-        except OSError:
-            pass
+            self._remove_file(handle.path)
+        except FileNotFoundError:
+            self.io.record_delete(ok=True)
+        except OSError as exc:
+            self.io.record_delete(ok=False)
+            logger.warning("failed to delete spill part %s: %s", handle.path, exc)
+        else:
+            self.io.record_delete(ok=True)
 
     def close(self) -> None:
         """Remove the spill directory if this store created it."""
@@ -108,11 +255,13 @@ class SpilledLevel:
         parts: list[PartHandle],
         off: np.ndarray | None,
         prefetch: bool = True,
+        prefetch_depth: int = 1,
     ) -> None:
         self.store = store
         self.parts = parts
         self.off = None if off is None else np.ascontiguousarray(off, dtype=np.int64)
         self.prefetch = prefetch
+        self.prefetch_depth = prefetch_depth
         self._length = sum(p.length for p in parts)
         if self.off is not None and self.off[-1] != self._length:
             raise StorageError(
@@ -137,7 +286,9 @@ class SpilledLevel:
         return np.concatenate(chunks)
 
     def iter_vert_chunks(self) -> Iterator[np.ndarray]:
-        reader = SlidingWindowReader(self.store, self.parts, prefetch=self.prefetch)
+        reader = SlidingWindowReader(
+            self.store, self.parts, prefetch=self.prefetch, depth=self.prefetch_depth
+        )
         yield from reader
 
     @property

@@ -1,15 +1,23 @@
 """Sliding-window part reader with background prefetch (Section 4.1).
 
-While the engine processes the *main* part of a window, a background
-thread loads the *candidate* part; when the main part is consumed the
-window slides (the candidate becomes the main part and the next load
-starts).  Disk reads release the GIL, so the prefetch genuinely overlaps
-the pure-Python computation, hiding I/O exactly as the paper describes.
+While the engine processes the *main* part of a window, background
+threads load the next ``depth`` *candidate* parts; when the main part is
+consumed the window slides (the oldest candidate becomes the main part
+and the next load starts).  Disk reads release the GIL, so the prefetch
+genuinely overlaps the pure-Python computation, hiding I/O exactly as
+the paper describes.
+
+The window size is ``1 + depth`` parts; ``depth=0`` (or
+``prefetch=False``) degrades to fully synchronous reads — the shape the
+engine falls back to when the device runs out of space.  A load error in
+a prefetch thread is captured and re-raised on the consuming iterator at
+the position of the failed part, never lost in the background thread.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
@@ -20,18 +28,55 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["SlidingWindowReader"]
 
 
+class _Prefetch:
+    """One in-flight background load."""
+
+    __slots__ = ("thread", "result", "error")
+
+    def __init__(self, store: "PartStore", part: "PartHandle") -> None:
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+        def run() -> None:
+            try:
+                self.result = store.load(part)
+            except BaseException as exc:  # propagate to consumer
+                self.error = exc
+
+        self.thread = threading.Thread(
+            target=run, name="kaleido-prefetch", daemon=True
+        )
+        self.thread.start()
+
+    def wait(self) -> np.ndarray:
+        self.thread.join()
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
 class SlidingWindowReader:
-    """Iterates part arrays in order, prefetching one part ahead."""
+    """Iterates part arrays in order, prefetching ``depth`` parts ahead."""
 
     def __init__(
         self,
         store: "PartStore",
         parts: list["PartHandle"],
         prefetch: bool = True,
+        depth: int = 1,
     ) -> None:
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
         self.store = store
         self.parts = parts
-        self.prefetch = prefetch
+        self.prefetch = prefetch and depth > 0
+        self.depth = depth
+
+    @property
+    def window_parts(self) -> int:
+        """Parts resident at once: the main part plus the prefetch depth."""
+        return 1 + (self.depth if self.prefetch else 0)
 
     def __iter__(self) -> Iterator[np.ndarray]:
         if not self.parts:
@@ -41,32 +86,13 @@ class SlidingWindowReader:
                 yield self.store.load(part)
             return
 
-        next_result: list[np.ndarray | None] = [None]
-        next_error: list[BaseException | None] = [None]
-
-        def load_into(idx: int) -> threading.Thread:
-            def run() -> None:
-                try:
-                    next_result[0] = self.store.load(self.parts[idx])
-                except BaseException as exc:  # propagate to consumer
-                    next_error[0] = exc
-
-            thread = threading.Thread(target=run, name="kaleido-prefetch", daemon=True)
-            thread.start()
-            return thread
-
+        pending: deque[_Prefetch] = deque()
+        next_idx = 1  # index of the next part to start loading
         current = self.store.load(self.parts[0])
-        for idx in range(len(self.parts)):
-            thread = None
-            if idx + 1 < len(self.parts):
-                next_result[0] = None
-                next_error[0] = None
-                thread = load_into(idx + 1)
+        for _ in range(len(self.parts)):
+            while next_idx < len(self.parts) and len(pending) < self.depth:
+                pending.append(_Prefetch(self.store, self.parts[next_idx]))
+                next_idx += 1
             yield current
-            if thread is not None:
-                thread.join()
-                if next_error[0] is not None:
-                    raise next_error[0]
-                loaded = next_result[0]
-                assert loaded is not None
-                current = loaded
+            if pending:
+                current = pending.popleft().wait()

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.storage import PartStore, SlidingWindowReader, WritingQueue
+from repro.errors import CorruptPartError, StorageError
+from repro.storage import (
+    FaultPlan,
+    FaultSpec,
+    FaultyPartStore,
+    PartStore,
+    SlidingWindowReader,
+    WritingQueue,
+)
 
 
 @pytest.mark.parametrize("synchronous", [True, False])
@@ -47,6 +55,49 @@ def test_queue_tracks_io(tmp_path):
     assert store.io.bytes_written > 400
 
 
+def test_queue_maxsize_validated_and_bounded(tmp_path):
+    store = PartStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        WritingQueue(store, maxsize=0)
+    queue = WritingQueue(store, maxsize=2)
+    assert queue.maxsize == 2
+    for i in range(6):  # more submissions than slots: backpressure, no loss
+        queue.submit(np.full(3, i, dtype=np.int32))
+    handles = queue.close()
+    assert [store.load(h)[0] for h in handles] == list(range(6))
+
+
+def test_queue_maxsize_threaded_from_policy(tmp_path):
+    from repro.storage import MemoryBudget, MemoryMeter, StoragePolicy
+    from repro.core import CSE
+
+    policy = StoragePolicy(
+        MemoryBudget(None),
+        MemoryMeter(),
+        store=PartStore(str(tmp_path)),
+        force_spill_last=True,
+        queue_maxsize=3,
+    )
+    sink = policy.make_sink(CSE([0, 1, 2]))
+    assert sink._queue.maxsize == 3
+    sink.abort()
+
+
+def test_discard_after_writer_error_deletes_all_parts(tmp_path):
+    """The error-path contract: after a mid-level writer failure, discard()
+    removes every part that *was* written — nothing leaks."""
+    plan = FaultPlan([FaultSpec(op="save", kind="permanent", at=3)])
+    store = FaultyPartStore(str(tmp_path), plan=plan)
+    queue = WritingQueue(store, synchronous=False)
+    for i in range(3):  # third save fails on the writer thread
+        queue.submit(np.full(4, i, dtype=np.int32))
+    with pytest.raises(StorageError):
+        queue.close()
+    queue.discard()
+    assert not list(tmp_path.glob("*.npy"))
+    assert not list(tmp_path.glob("*.tmp"))
+
+
 def test_window_reader_orders(tmp_path):
     store = PartStore(str(tmp_path))
     handles = [store.save(np.full(3, i, dtype=np.int32)) for i in range(5)]
@@ -77,6 +128,30 @@ def test_window_reader_propagates_errors(tmp_path):
     reader = SlidingWindowReader(store, handles, prefetch=True)
     with pytest.raises(Exception):
         list(reader)
+
+
+def test_window_reader_prefetch_error_surfaces_at_consumer(tmp_path):
+    """A load failing on the prefetch thread re-raises on the consuming
+    iterator at the failed part's position — never lost in the background."""
+    plan = FaultPlan([FaultSpec(op="load", kind="corrupt", at=2)])
+    store = FaultyPartStore(str(tmp_path), plan=plan)
+    handles = [store.save(np.full(3, i, dtype=np.int32)) for i in range(3)]
+    it = iter(SlidingWindowReader(store, handles, prefetch=True))
+    assert next(it).tolist() == [0, 0, 0]  # part 1 fine; part 2 prefetching
+    with pytest.raises(CorruptPartError):
+        next(it)
+
+
+def test_window_reader_depth(tmp_path):
+    store = PartStore(str(tmp_path))
+    handles = [store.save(np.full(3, i, dtype=np.int32)) for i in range(6)]
+    reader = SlidingWindowReader(store, handles, prefetch=True, depth=2)
+    assert reader.window_parts == 3
+    assert [c[0] for c in reader] == list(range(6))
+    assert SlidingWindowReader(store, handles, depth=0).window_parts == 1
+    assert SlidingWindowReader(store, handles, prefetch=False).window_parts == 1
+    with pytest.raises(ValueError):
+        SlidingWindowReader(store, handles, depth=-1)
 
 
 def test_window_reader_hides_io(tmp_path):

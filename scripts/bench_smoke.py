@@ -4,12 +4,14 @@
 Runs 3-motif counting on the tiny citeseer stand-in under the serial
 (work-stealing replay) executor and the real thread-pool executor, and
 writes a ``BENCH_pipeline.json`` record with wall seconds, peak bytes,
-and utilization per executor plus the per-stage phase spans.  Also
-exercises the crash-recovery path once: a 4-motif run is killed right
-after its first checkpoint and resumed, and the resumed pattern map must
-match an uninterrupted run.  Meant as a cheap CI guard that the
-plan → execute → aggregate pipeline and the resume path stay wired up,
-not as a performance measurement.
+and utilization per executor plus the per-stage phase spans.  The serial
+run is traced, and Fig-17-style per-worker busy fractions are derived
+from its part spans (plus a validity check on the Chrome trace_event
+export).  Also exercises the crash-recovery path once: a 4-motif run is
+killed right after its first checkpoint and resumed, and the resumed
+pattern map must match an uninterrupted run.  Meant as a cheap CI guard
+that the plan → execute → aggregate pipeline, the observability layer,
+and the resume path stay wired up, not as a performance measurement.
 
 Usage::
 
@@ -29,12 +31,13 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 from repro import KaleidoEngine, MotifCounting  # noqa: E402
 from repro.core.executor import EXECUTOR_CHOICES  # noqa: E402
 from repro.graph import datasets  # noqa: E402
+from repro.obs import Tracer, chrome_trace, worker_busy_fractions  # noqa: E402
 
 
-def run_one(graph, executor: str) -> dict:
-    with KaleidoEngine(graph, workers=4, executor=executor) as engine:
+def run_one(graph, executor: str, tracer: Tracer | None = None) -> dict:
+    with KaleidoEngine(graph, workers=4, executor=executor, tracer=tracer) as engine:
         result = engine.run(MotifCounting(3))
-    return {
+    record = {
         "executor": result.extra["executor"],
         "wall_seconds": result.wall_seconds,
         "peak_bytes": result.peak_memory_bytes,
@@ -42,6 +45,30 @@ def run_one(graph, executor: str) -> dict:
         "phase_spans": result.phase_spans,
         "pattern_counts": sorted(result.value.values()),
     }
+    if tracer is not None:
+        record["worker_busy_fractions"] = _fig17_record(tracer, engine)
+    return record
+
+
+def _fig17_record(tracer: Tracer, engine: KaleidoEngine) -> dict:
+    """Fig-17-style per-worker busy fractions, derived from part spans.
+
+    Also sanity-checks the Chrome export: every part span must land on a
+    named worker track and the trace must be valid trace_event JSON.
+    """
+    trace = chrome_trace(tracer)
+    json.dumps(trace)  # must serialize cleanly
+    named = {e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"}
+    part_tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    meta_tids = {
+        e["tid"] for e in trace["traceEvents"] if e["ph"] == "M"
+    }
+    if not part_tids <= meta_tids:
+        raise RuntimeError("part spans on unnamed tracks in the Chrome trace")
+    if not any(name.startswith("worker-") for name in named):
+        raise RuntimeError("no worker tracks in the Chrome trace")
+    fractions = worker_busy_fractions(tracer)
+    return {worker: round(frac, 4) for worker, frac in sorted(fractions.items())}
 
 
 class _SimulatedCrash(BaseException):
@@ -85,7 +112,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     graph = datasets.load(args.dataset, "tiny")
-    runs = [run_one(graph, executor) for executor in EXECUTOR_CHOICES]
+    runs = [
+        run_one(graph, executor, tracer=Tracer() if executor == "serial" else None)
+        for executor in EXECUTOR_CHOICES
+    ]
 
     counts = {tuple(run["pattern_counts"]) for run in runs}
     if len(counts) != 1:
@@ -109,6 +139,12 @@ def main(argv=None) -> int:
             f"{run['executor']:>10}: {run['wall_seconds']:.3f}s wall, "
             f"{run['peak_bytes']} peak bytes, {run['utilization']:.2f} utilization"
         )
+        if "worker_busy_fractions" in run:
+            busy = ", ".join(
+                f"{worker}={frac:.2f}"
+                for worker, frac in run["worker_busy_fractions"].items()
+            )
+            print(f"{'':>10}  busy fractions: {busy}")
     print(
         f"resume smoke: restarted from level {resume['resumed_from_level']}, "
         f"pattern map matches uninterrupted run"

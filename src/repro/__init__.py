@@ -39,6 +39,7 @@ from .core import (
     eigen_hash,
 )
 from .graph import Graph, GraphBuilder, datasets
+from .obs import MetricsRegistry, Tracer, write_chrome_trace
 from .storage import MemoryBudget, MemoryMeter
 
 __version__ = "1.0.0"
@@ -65,5 +66,8 @@ __all__ = [
     "FrequentSubgraphMining",
     "MemoryMeter",
     "MemoryBudget",
+    "Tracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -2,9 +2,12 @@
 
 Commands
 --------
-``mine``
+``mine`` (alias ``run``)
     Run one of the four mining applications over a named dataset or an
     edge-list file, with optional workers / memory budget / spill dir.
+    ``--trace-out`` / ``--trace-jsonl`` / ``--metrics-out`` export the
+    run's trace and metrics (Chrome ``trace_event`` JSON, flat JSONL,
+    metrics snapshot).
 ``datasets``
     Print the dataset registry (paper stats vs generated stand-ins).
 ``generate``
@@ -25,6 +28,7 @@ from .apps import (
 )
 from .core.engine import KaleidoEngine
 from .core.executor import EXECUTOR_CHOICES
+from .obs import Tracer, write_chrome_trace, write_jsonl
 from .storage.retry import RetryPolicy
 from .graph import (
     PAPER_STATS,
@@ -47,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    mine = sub.add_parser("mine", help="run a mining application")
+    mine = sub.add_parser("mine", aliases=["run"], help="run a mining application")
     mine.add_argument(
         "app", choices=["tc", "motif", "clique", "fsm"], help="application"
     )
@@ -104,6 +108,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on in-flight arrays in the background writing queue",
     )
     mine.add_argument("--json", action="store_true", help="machine-readable output")
+    mine.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace_event JSON trace here "
+        "(load in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    mine.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="write the raw trace events as one JSON object per line",
+    )
+    mine.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics registry snapshot as JSON",
+    )
 
     ds = sub.add_parser("datasets", help="list the dataset registry")
     ds.add_argument("--profile", default="bench")
@@ -162,6 +182,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint_dir is None:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    wants_trace = args.trace_out or args.trace_jsonl or args.metrics_out
+    tracer = Tracer() if wants_trace else None
     with KaleidoEngine(
         graph,
         workers=args.workers,
@@ -174,8 +196,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         io_retry=RetryPolicy(attempts=args.io_retries),
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        tracer=tracer,
     ) as engine:
         result = engine.run(_make_app(args), resume=args.resume)
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, engine.tracer)
+    if args.trace_jsonl:
+        write_jsonl(args.trace_jsonl, engine.tracer)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(engine.metrics.snapshot(), handle, indent=2)
+            handle.write("\n")
     if args.json:
         payload = {
             "app": result.app_name,
@@ -263,7 +294,7 @@ def _cmd_approx(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "mine":
+    if args.command in ("mine", "run"):
         return _cmd_mine(args)
     if args.command == "datasets":
         return _cmd_datasets(args)

@@ -36,6 +36,9 @@ from ..balance.worksteal import Schedule
 from ..errors import BudgetExceededError, DiskFullError, StorageError, TransientStorageError
 from ..graph.edge_index import EdgeIndex
 from ..graph.graph import Graph
+from ..obs.bridge import absorb_engine
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from ..storage.checkpoint import RunCheckpoint
 from ..storage.hybrid import StoragePolicy
 from ..storage.meter import MemoryBudget, MemoryMeter
@@ -134,6 +137,19 @@ class KaleidoEngine:
         Optional ``(iteration, path)`` callback fired after each
         checkpoint lands (operational hook; crash-recovery tests use it
         to kill the run at exact iteration boundaries).
+    tracer:
+        A :class:`repro.obs.Tracer` to record the run's span tree
+        (``run → level → {plan, execute, aggregate} → part``) and
+        instant events (spill, demote, prefetch hit/miss, retry,
+        degradation, checkpoint, checkpoint-restore).  Defaults to the
+        no-op tracer, which costs a single attribute check per probe and
+        never changes mined results (parity-tested).
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` to collect the run's
+        counters/gauges/histograms (``io.*``, ``mem.*``, ``queue.*``,
+        ``hasher.*``, ``storage.*``, ``checkpoint.*``).  A fresh
+        registry is created when not given; read it back from
+        ``engine.metrics``.
     """
 
     def __init__(
@@ -155,6 +171,8 @@ class KaleidoEngine:
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
         on_checkpoint: Callable[[int, str], None] | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if storage_mode not in ("auto", "memory", "spill-last"):
             raise ValueError(f"unknown storage_mode {storage_mode!r}")
@@ -164,6 +182,8 @@ class KaleidoEngine:
             raise ValueError("checkpoint_every must be positive")
         self.graph = graph
         self.workers = workers
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.hasher = hasher if hasher is not None else PatternHasher()
         self.meter = MemoryMeter()
         self.budget = MemoryBudget(memory_limit_bytes)
@@ -178,7 +198,9 @@ class KaleidoEngine:
         self.max_embeddings = max_embeddings
         self.executor = resolve_executor(executor)
         self._store: PartStore | None = (
-            PartStore(spill_dir, retry=io_retry) if spill_dir is not None else None
+            PartStore(spill_dir, retry=io_retry, tracer=self.tracer, metrics=self.metrics)
+            if spill_dir is not None
+            else None
         )
         self._policy = StoragePolicy(
             self.budget,
@@ -189,6 +211,8 @@ class KaleidoEngine:
             force_spill_last=(storage_mode == "spill-last"),
             queue_maxsize=queue_maxsize,
             retry=io_retry,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.planner = Planner(
             graph,
@@ -217,7 +241,18 @@ class KaleidoEngine:
         from scratch; an empty or absent checkpoint directory simply
         starts over.  The resumed run produces the same final pattern
         map as an uninterrupted one.
+
+        The run is recorded on ``self.tracer`` as one ``run`` span with
+        nested ``level → {plan, execute, aggregate} → part`` children,
+        and the run's measurements are folded into ``self.metrics``
+        when it finishes.  Tracing never changes mined results.
         """
+        with self.tracer.span("run", app=app.name, graph=self.graph.name):
+            result = self._run(app, resume)
+        absorb_engine(self.metrics, self)
+        return result
+
+    def _run(self, app: MiningApplication, resume: bool) -> MiningResult:
         started = time.perf_counter()
         schedules: list[Schedule] = []
         schedule_phases: list[str] = []
@@ -255,77 +290,88 @@ class KaleidoEngine:
             # nothing left to explore.
             start_iteration = total_iterations
         for iteration in range(start_iteration, total_iterations):
-            # Stages 1+2: plan then execute, re-planning under a degraded
-            # I/O mode when the device fills up mid-level (the failed
-            # level's partial parts were already discarded by the sink).
-            while True:
-                stage_started = time.perf_counter()
-                try:
-                    plan = self.planner.plan_level(ctx, cse)
-                except _DEGRADABLE_ERRORS as exc:
+            self.tracer.begin("level", index=iteration, size=cse.size())
+            try:
+                # Stages 1+2: plan then execute, re-planning under a
+                # degraded I/O mode when the device fills up mid-level
+                # (the failed level's partial parts were already
+                # discarded by the sink).
+                while True:
+                    stage_started = time.perf_counter()
+                    try:
+                        with self.tracer.span("plan", depth=cse.depth):
+                            plan = self.planner.plan_level(ctx, cse)
+                    except _DEGRADABLE_ERRORS as exc:
+                        plan_seconds += time.perf_counter() - stage_started
+                        self._degrade_or_raise("plan", exc)
+                        continue
                     plan_seconds += time.perf_counter() - stage_started
-                    self._degrade_or_raise("plan", exc)
-                    continue
-                plan_seconds += time.perf_counter() - stage_started
 
-                stage_started = time.perf_counter()
-                try:
-                    if app.induced == "vertex":
-                        stats = expand_vertex_level(
-                            self.graph,
-                            cse,
-                            app.embedding_filter,
-                            parts=plan.part_bounds,
-                            sink=plan.sink,
-                            executor=self.executor,
-                            workers=self.workers,
-                        )
-                    else:
-                        assert ctx.edge_index is not None
-                        stats = expand_edge_level(
-                            self.graph,
-                            ctx.edge_index,
-                            cse,
-                            app.embedding_filter,
-                            parts=plan.part_bounds,
-                            sink=plan.sink,
-                            executor=self.executor,
-                            workers=self.workers,
-                        )
-                except _DEGRADABLE_ERRORS as exc:
+                    stage_started = time.perf_counter()
+                    try:
+                        with self.tracer.span(
+                            "execute", parts=plan.num_parts, spill=plan.spill
+                        ):
+                            if app.induced == "vertex":
+                                stats = expand_vertex_level(
+                                    self.graph,
+                                    cse,
+                                    app.embedding_filter,
+                                    parts=plan.part_bounds,
+                                    sink=plan.sink,
+                                    executor=self.executor,
+                                    workers=self.workers,
+                                    tracer=self.tracer,
+                                )
+                            else:
+                                assert ctx.edge_index is not None
+                                stats = expand_edge_level(
+                                    self.graph,
+                                    ctx.edge_index,
+                                    cse,
+                                    app.embedding_filter,
+                                    parts=plan.part_bounds,
+                                    sink=plan.sink,
+                                    executor=self.executor,
+                                    workers=self.workers,
+                                    tracer=self.tracer,
+                                )
+                    except _DEGRADABLE_ERRORS as exc:
+                        execute_seconds += time.perf_counter() - stage_started
+                        self._degrade_or_raise("execute", exc)
+                        continue
                     execute_seconds += time.perf_counter() - stage_started
-                    self._degrade_or_raise("execute", exc)
-                    continue
-                execute_seconds += time.perf_counter() - stage_started
-                break
+                    break
 
-            schedule = stats.schedule
-            assert schedule is not None
-            schedules.append(schedule)
-            schedule_phases.append("explore")
-            explore_span += schedule.span_seconds
-            level_sizes.append(cse.size())
-            self.meter.set("cse", cse.nbytes_in_memory)
-            logger.debug(
-                "%s: level %d -> %d embeddings (%d candidates examined, "
-                "%.3fs span, %.2f MB accounted)",
-                app.name, cse.depth, cse.size(), stats.candidates_examined,
-                schedule.span_seconds, self.meter.current_bytes / 1e6,
-            )
-
-            if app.aggregate_every_iteration:
-                reduced, agg_span, agg_wall = self._aggregate(
-                    ctx, app, cse, schedules, schedule_phases
+                schedule = stats.schedule
+                assert schedule is not None
+                schedules.append(schedule)
+                schedule_phases.append("explore")
+                explore_span += schedule.span_seconds
+                level_sizes.append(cse.size())
+                self.meter.set("cse", cse.nbytes_in_memory)
+                logger.debug(
+                    "%s: level %d -> %d embeddings (%d candidates examined, "
+                    "%.3fs span, %.2f MB accounted)",
+                    app.name, cse.depth, cse.size(), stats.candidates_examined,
+                    schedule.span_seconds, self.meter.current_bytes / 1e6,
                 )
-                aggregated = True
-                explore_span += agg_span
-                aggregate_seconds += agg_wall
-                mask = app.prune(ctx, cse, reduced)
-                if mask is not None:
-                    cse.filter_top_level(mask)
-                    level_sizes[-1] = cse.size()
-                    self.meter.set("cse", cse.nbytes_in_memory)
-            self._maybe_checkpoint(ctx, app, cse, iteration, reduced, aggregated)
+
+                if app.aggregate_every_iteration:
+                    reduced, agg_span, agg_wall = self._aggregate(
+                        ctx, app, cse, schedules, schedule_phases
+                    )
+                    aggregated = True
+                    explore_span += agg_span
+                    aggregate_seconds += agg_wall
+                    mask = app.prune(ctx, cse, reduced)
+                    if mask is not None:
+                        cse.filter_top_level(mask)
+                        level_sizes[-1] = cse.size()
+                        self.meter.set("cse", cse.nbytes_in_memory)
+                self._maybe_checkpoint(ctx, app, cse, iteration, reduced, aggregated)
+            finally:
+                self.tracer.end("level")
             if app.aggregate_every_iteration and cse.size() == 0:
                 break
         phase_spans["explore"] = explore_span
@@ -402,6 +448,8 @@ class KaleidoEngine:
         step = self._policy.degrade()
         if step is None:
             raise exc
+        if self.tracer.enabled:
+            self.tracer.instant("degradation", stage=stage, step=step)
         logger.warning(
             "storage failure during %s (%s); degrading I/O mode: %s",
             stage, exc, step,
@@ -436,12 +484,16 @@ class KaleidoEngine:
             path = self._checkpoints.save(iteration, cse, pickle.dumps(state))
         except StorageError as exc:
             self._checkpoint_failures += 1
+            if self.tracer.enabled:
+                self.tracer.instant("checkpoint-failure", iteration=iteration)
             logger.warning(
                 "checkpoint after iteration %d failed (run continues): %s",
                 iteration, exc,
             )
             return
         self._checkpoints_written += 1
+        if self.tracer.enabled:
+            self.tracer.instant("checkpoint", iteration=iteration)
         logger.debug("checkpointed iteration %d at %s", iteration, path)
         if self.on_checkpoint is not None:
             self.on_checkpoint(iteration, path)
@@ -476,6 +528,10 @@ class KaleidoEngine:
             )
         if state.get("app_state") is not None:
             app.restore_state(ctx, state["app_state"])
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "checkpoint-restore", iteration=iteration, depth=cse.depth
+            )
         logger.info(
             "resuming %s from checkpoint level %d (depth %d, %d embeddings)",
             app.name, iteration, cse.depth, cse.size(),
@@ -500,33 +556,36 @@ class KaleidoEngine:
         (Fig. 14).
         """
         wall_started = time.perf_counter()
-        plan = self.planner.plan_aggregate(ctx, app, cse)
-        emb_iter = iter(cse.iter_embeddings())
+        with self.tracer.span("aggregate", size=cse.size()):
+            plan = self.planner.plan_aggregate(ctx, app, cse)
+            emb_iter = iter(cse.iter_embeddings())
 
-        def tasks():
-            for start, end in plan.part_bounds:
-                embeddings = [emb for _, emb in islice(emb_iter, end - start)]
-                yield partial(aggregate_part, app, ctx, embeddings)
+            def tasks():
+                for start, end in plan.part_bounds:
+                    embeddings = [emb for _, emb in islice(emb_iter, end - start)]
+                    yield partial(aggregate_part, app, ctx, embeddings)
 
-        report = self.executor.run(tasks(), workers=self.workers)
-        pmaps: list[PatternMap] = [pmap for pmap, _ in report.results]
-        # Part states are absorbed serially in part-index order, whatever
-        # order the executor completed the parts in.
-        for _, part_state in report.results:
-            if part_state is not None:
-                app.finish_part(ctx, part_state)
+            report = self.executor.run(
+                tasks(), workers=self.workers, tracer=self.tracer, phase="aggregate"
+            )
+            pmaps: list[PatternMap] = [pmap for pmap, _ in report.results]
+            # Part states are absorbed serially in part-index order,
+            # whatever order the executor completed the parts in.
+            for _, part_state in report.results:
+                if part_state is not None:
+                    app.finish_part(ctx, part_state)
 
-        self.meter.set("pattern_maps", sum(app.pmap_nbytes(m) for m in pmaps))
-        if hasattr(self.hasher, "nbytes"):
-            self.meter.set("hasher_cache", self.hasher.nbytes)
-        schedule = report.schedule
-        schedules.append(schedule)
-        schedule_phases.append("aggregate")
+            self.meter.set("pattern_maps", sum(app.pmap_nbytes(m) for m in pmaps))
+            if hasattr(self.hasher, "nbytes"):
+                self.meter.set("hasher_cache", self.hasher.nbytes)
+            schedule = report.schedule
+            schedules.append(schedule)
+            schedule_phases.append("aggregate")
 
-        reduce_started = time.perf_counter()
-        reduced = app.reduce(ctx, pmaps)
-        reduce_seconds = time.perf_counter() - reduce_started
-        self.meter.set("pattern_maps", app.pmap_nbytes(reduced))
+            reduce_started = time.perf_counter()
+            reduced = app.reduce(ctx, pmaps)
+            reduce_seconds = time.perf_counter() - reduce_started
+            self.meter.set("pattern_maps", app.pmap_nbytes(reduced))
         wall = time.perf_counter() - wall_started
         return reduced, schedule.span_seconds + reduce_seconds, wall
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from ..balance.worksteal import Schedule, TaskInterval, simulate_work_stealing
+from ..obs.trace import Tracer
 
 __all__ = [
     "ExecutionReport",
@@ -40,6 +41,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "SimulatedSchedule",
+    "emit_part_spans",
     "resolve_executor",
     "EXECUTOR_CHOICES",
 ]
@@ -63,8 +65,42 @@ class ExecutionReport:
     schedule: Schedule = field(default_factory=lambda: Schedule(num_workers=1))
 
 
+def emit_part_spans(
+    tracer: "Tracer | None",
+    schedule: Schedule,
+    phase: str,
+    base: float,
+) -> None:
+    """Emit one ``part`` complete-span per schedule interval.
+
+    Each interval becomes a span on its worker's track (``worker-N``),
+    offset by ``base`` — the tracer time at which the executor run
+    started — so the worker tracks line up with the engine's stack spans
+    in the exported timeline.  For the work-stealing replay the interval
+    times are *modelled*, which is exactly the Fig.-17/18 view the
+    benchmarks plot; for the thread pool they are measured wall clock.
+    """
+    if tracer is None or not tracer.enabled:
+        return
+    for interval in schedule.intervals:
+        tracer.complete(
+            "part",
+            start=base + interval.start,
+            end=base + interval.end,
+            track=f"worker-{interval.worker}",
+            parent=phase,
+            task=interval.task_index,
+            worker=interval.worker,
+        )
+
+
 class PartExecutor:
-    """Runs per-part tasks and reports results in deterministic part order."""
+    """Runs per-part tasks and reports results in deterministic part order.
+
+    ``tracer``/``phase`` are the observability hooks: when a real tracer
+    is passed, the executor emits one ``part`` span per schedule interval
+    on a per-worker track (via :func:`emit_part_spans`) after the run.
+    """
 
     name = "base"
 
@@ -73,6 +109,8 @@ class PartExecutor:
         tasks: Iterable[Callable[[], Any]],
         workers: int = 1,
         on_result: ResultCallback | None = None,
+        tracer: "Tracer | None" = None,
+        phase: str = "execute",
     ) -> ExecutionReport:  # pragma: no cover - protocol
         raise NotImplementedError
 
@@ -87,7 +125,10 @@ class SerialExecutor(PartExecutor):
         tasks: Iterable[Callable[[], Any]],
         workers: int = 1,
         on_result: ResultCallback | None = None,
+        tracer: "Tracer | None" = None,
+        phase: str = "execute",
     ) -> ExecutionReport:
+        base = tracer.now() if tracer is not None and tracer.enabled else 0.0
         report = ExecutionReport(schedule=Schedule(num_workers=1))
         clock = 0.0
         for index, task in enumerate(tasks):
@@ -102,6 +143,7 @@ class SerialExecutor(PartExecutor):
             clock += elapsed
             if on_result is not None:
                 on_result(index, result)
+        emit_part_spans(tracer, report.schedule, phase, base)
         return report
 
 
@@ -125,9 +167,15 @@ class SimulatedSchedule(PartExecutor):
         tasks: Iterable[Callable[[], Any]],
         workers: int = 1,
         on_result: ResultCallback | None = None,
+        tracer: "Tracer | None" = None,
+        phase: str = "execute",
     ) -> ExecutionReport:
+        # The inner executor runs untraced: the part spans that matter
+        # are the replayed (modelled-parallel) intervals, emitted below.
+        base = tracer.now() if tracer is not None and tracer.enabled else 0.0
         report = self.inner.run(tasks, workers=1, on_result=on_result)
         report.schedule = simulate_work_stealing(report.durations, workers)
+        emit_part_spans(tracer, report.schedule, phase, base)
         return report
 
 
@@ -153,8 +201,11 @@ class ThreadedExecutor(PartExecutor):
         tasks: Iterable[Callable[[], Any]],
         workers: int = 1,
         on_result: ResultCallback | None = None,
+        tracer: "Tracer | None" = None,
+        phase: str = "execute",
     ) -> ExecutionReport:
         pool_size = self.max_workers if self.max_workers is not None else max(1, workers)
+        base = tracer.now() if tracer is not None and tracer.enabled else 0.0
         epoch = time.perf_counter()
 
         def timed(index: int, task: Callable[[], Any]):
@@ -210,6 +261,7 @@ class ThreadedExecutor(PartExecutor):
             report.schedule.intervals.append(
                 TaskInterval(worker=slot, start=started, end=ended, task_index=index)
             )
+        emit_part_spans(tracer, report.schedule, phase, base)
         return report
 
 

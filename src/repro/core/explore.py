@@ -33,6 +33,7 @@ from ..graph.graph import Graph
 from .cse import CSE, InMemoryLevel, Level
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.trace import Tracer
     from .executor import PartExecutor
 
 __all__ = [
@@ -311,6 +312,7 @@ def _run_expansion(
     executor: "PartExecutor | None",
     workers: int,
     make_part: Callable[..., PartExpansion],
+    tracer: "Tracer | None" = None,
 ) -> ExpansionStats:
     """Common expansion driver shared by the vertex and edge paths.
 
@@ -349,7 +351,10 @@ def _run_expansion(
         counts[start:end] = part.counts
 
     try:
-        report = executor.run(tasks(), workers=workers, on_result=on_result)
+        report = executor.run(
+            tasks(), workers=workers, on_result=on_result,
+            tracer=tracer, phase="execute",
+        )
     except BaseException:
         sink.abort()
         raise
@@ -383,16 +388,18 @@ def expand_vertex_level(
     sink: LevelSink | None = None,
     executor: "PartExecutor | None" = None,
     workers: int = 1,
+    tracer: "Tracer | None" = None,
 ) -> ExpansionStats:
     """Expand the CSE's top level by one vertex (one exploration iteration).
 
     Parts are contiguous position ranges over the top level; each becomes
     one executor task.  Appends the new level to the CSE and returns the
-    per-part stats.
+    per-part stats.  ``tracer`` (optional) receives the executor's
+    per-part worker spans.
     """
     adjacency = graph.adjacency_sets()
     make_part = partial(_vertex_part_task, graph, adjacency, embedding_filter)
-    return _run_expansion(cse, parts, sink, executor, workers, make_part)
+    return _run_expansion(cse, parts, sink, executor, workers, make_part, tracer)
 
 
 def _vertex_part_task(graph, adjacency, embedding_filter, embeddings, bound, index):
@@ -410,12 +417,13 @@ def expand_edge_level(
     sink: LevelSink | None = None,
     executor: "PartExecutor | None" = None,
     workers: int = 1,
+    tracer: "Tracer | None" = None,
 ) -> ExpansionStats:
     """Edge-induced analogue of :func:`expand_vertex_level`."""
     eu, ev = index.endpoint_lists()
     incident = index.incident_lists()
     make_part = partial(_edge_part_task, eu, ev, incident, embedding_filter)
-    return _run_expansion(cse, parts, sink, executor, workers, make_part)
+    return _run_expansion(cse, parts, sink, executor, workers, make_part, tracer)
 
 
 def _edge_part_task(eu, ev, incident, embedding_filter, embeddings, bound, index):

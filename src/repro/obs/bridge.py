@@ -1,0 +1,92 @@
+"""Fold the pre-existing ad-hoc instrumentation into a MetricsRegistry.
+
+The storage and core layers grew their own measurement structures before
+the observability layer existed — :class:`~repro.storage.meter.IOStats`,
+:class:`~repro.storage.meter.MemoryMeter`, the
+:class:`~repro.core.eigenhash.PatternHasher` hit/miss pair.  Rather than
+rewrite them (every benchmark reads them directly), these helpers
+project their state into the registry's namespace, so exporters and the
+CLI see one interface.  The engine calls :func:`absorb_engine` once per
+run, after the run finishes; live quantities (queue depth) are
+instrumented at the source instead.
+
+Metric names produced here are part of the public surface — the table
+in docs/api.md lists them all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..core.eigenhash import PatternHasher
+    from ..core.engine import KaleidoEngine
+    from ..storage.meter import IOStats, MemoryMeter
+
+__all__ = [
+    "absorb_io_stats",
+    "absorb_memory_meter",
+    "absorb_hasher",
+    "absorb_engine",
+]
+
+
+def absorb_io_stats(
+    registry: MetricsRegistry, io: "IOStats", prefix: str = "io"
+) -> None:
+    """Project an IOStats into ``io.*`` counters and latency histograms."""
+    registry.counter(f"{prefix}.bytes_read").inc(io.bytes_read)
+    registry.counter(f"{prefix}.bytes_written").inc(io.bytes_written)
+    registry.counter(f"{prefix}.deletes").inc(io.deletes)
+    registry.counter(f"{prefix}.failed_deletes").inc(io.failed_deletes)
+    registry.counter(f"{prefix}.retries").inc(io.retries)
+    reads = registry.histogram(f"{prefix}.read_seconds")
+    writes = registry.histogram(f"{prefix}.write_seconds")
+    for event in io.events:
+        (reads if event.kind == "read" else writes).observe(event.seconds)
+
+
+def absorb_memory_meter(
+    registry: MetricsRegistry, meter: "MemoryMeter", prefix: str = "mem"
+) -> None:
+    """Project a MemoryMeter into ``mem.*`` gauges (current and peak)."""
+    total = registry.gauge(f"{prefix}.bytes")
+    total.set(meter.peak_bytes)  # record the peak into the gauge's peak
+    total.set(meter.current_bytes)
+    for name, nbytes in meter.snapshot().items():
+        registry.gauge(f"{prefix}.{name}.bytes").set(nbytes)
+
+
+def absorb_hasher(
+    registry: MetricsRegistry, hasher: object, prefix: str = "hasher"
+) -> None:
+    """Project a PatternHasher's cache statistics into ``hasher.*``."""
+    hits = getattr(hasher, "hits", None)
+    misses = getattr(hasher, "misses", None)
+    if hits is None or misses is None:  # bliss-like baselines keep no stats
+        return
+    registry.counter(f"{prefix}.hits").inc(int(hits))
+    registry.counter(f"{prefix}.misses").inc(int(misses))
+    if hasattr(hasher, "__len__"):
+        registry.gauge(f"{prefix}.cache_entries").set(len(hasher))  # type: ignore[arg-type]
+
+
+def absorb_engine(registry: MetricsRegistry, engine: "KaleidoEngine") -> None:
+    """Fold one engine's per-run measurement state into the registry.
+
+    Idempotence is *not* promised: counters accumulate, so calling this
+    after every run on a shared registry sums across runs (which is the
+    useful reading for repeated-run benchmarks).
+    """
+    absorb_memory_meter(registry, engine.meter)
+    absorb_hasher(registry, engine.hasher)
+    if engine.io_stats is not None:
+        absorb_io_stats(registry, engine.io_stats)
+    policy = engine._policy
+    registry.counter("storage.spilled_levels").inc(policy.spilled_levels)
+    registry.counter("storage.demoted_levels").inc(policy.demoted_levels)
+    registry.counter("storage.degradations").inc(len(policy.degradations))
+    registry.counter("checkpoint.written").inc(engine._checkpoints_written)
+    registry.counter("checkpoint.failures").inc(engine._checkpoint_failures)

@@ -28,6 +28,8 @@ import numpy as np
 
 from ..core.cse import CSE, InMemoryLevel, Level
 from ..core.explore import InMemorySink, LevelSink
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .meter import MemoryBudget, MemoryMeter
 from .queue import WritingQueue
 from .retry import RetryPolicy
@@ -101,6 +103,8 @@ class StoragePolicy:
         force_spill_last: bool = False,
         queue_maxsize: int = 16,
         retry: "RetryPolicy | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.budget = budget
         self.meter = meter
@@ -110,6 +114,13 @@ class StoragePolicy:
         self.force_spill_last = force_spill_last
         self.queue_maxsize = queue_maxsize
         self.retry = retry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        if store is not None:
+            # The engine constructs the store before the policy; share
+            # the observability hooks so queue/window events flow.
+            store.tracer = self.tracer
+            store.metrics = metrics
         self.spilled_levels = 0
         self.demoted_levels = 0
         #: Degradation steps applied so far, in order.
@@ -117,7 +128,9 @@ class StoragePolicy:
 
     def _ensure_store(self) -> PartStore:
         if self.store is None:
-            self.store = PartStore(retry=self.retry)
+            self.store = PartStore(
+                retry=self.retry, tracer=self.tracer, metrics=self.metrics
+            )
         return self.store
 
     @property
@@ -161,11 +174,15 @@ class StoragePolicy:
         """
         self.spilled_levels += 1
         store = self._ensure_store()
+        if self.tracer.enabled:
+            self.tracer.instant("spill", depth=cse.depth, io_mode=self.io_mode)
         if not self.budget.fits(self.meter.current_bytes, 0) and cse.depth > 1:
             top = cse.levels[-1]
             if isinstance(top, InMemoryLevel):
                 cse.levels[-1] = spill_level(top, store, prefetch=self.prefetch)
                 self.demoted_levels += 1
+                if self.tracer.enabled:
+                    self.tracer.instant("demote", depth=cse.depth)
         return SpillingSink(
             store,
             synchronous=self.synchronous_io,

@@ -133,7 +133,13 @@ class IOStats:
         self.retries += 1
 
     def merge(self, other: "IOStats") -> None:
-        """Fold another stats object into this one (queues keep their own)."""
+        """Fold another stats object into this one (queues keep their own).
+
+        Event timestamps are relative to each object's epoch, so the
+        other's events are rebased onto this epoch — without that shift,
+        a stats object created later (smaller elapsed clock) would drag
+        its events toward t=0 and corrupt the merged rate series.
+        """
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.read_seconds += other.read_seconds
@@ -141,7 +147,11 @@ class IOStats:
         self.deletes += other.deletes
         self.failed_deletes += other.failed_deletes
         self.retries += other.retries
-        self.events.extend(other.events)
+        shift = other.epoch - self.epoch
+        self.events.extend(
+            IOEvent(e.at_seconds + shift, e.kind, e.nbytes, e.seconds)
+            for e in other.events
+        )
 
     def rate_series(self, kind: str, bins: int = 20) -> list[tuple[float, float]]:
         """(time, MB/s) series over equal time bins, for Figure-15 plots."""

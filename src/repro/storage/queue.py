@@ -61,6 +61,9 @@ class WritingQueue:
         self.synchronous = synchronous
         self.maxsize = maxsize
         self.retry = retry if retry is not None else RetryPolicy(attempts=2)
+        #: Observability: queue depth gauge + written-part counter on the
+        #: store's registry (None when the store is uninstrumented).
+        self._metrics = getattr(store, "metrics", None)
         #: (sort key, handle) pairs; the key is the submitted part index,
         #: falling back to the submission sequence number.
         self._results: list[tuple[int, "PartHandle"]] = []
@@ -105,8 +108,12 @@ class WritingQueue:
             self._seq = max(self._seq, key + 1)
         if self.synchronous:
             self._results.append((key, self._save_with_retry(array, tag)))
+            if self._metrics is not None:
+                self._metrics.counter("queue.parts_written").inc()
         else:
             self._queue.put((key, array, tag))
+            if self._metrics is not None:
+                self._metrics.gauge("queue.depth").set(self._queue.qsize())
 
     def flush(self) -> list["PartHandle"]:
         """Wait for all submitted parts; return their handles in part order."""
@@ -168,10 +175,14 @@ class WritingQueue:
             key, array, tag = item
             try:
                 self._results.append((key, self._save_with_retry(array, tag)))
+                if self._metrics is not None:
+                    self._metrics.counter("queue.parts_written").inc()
             except BaseException as exc:  # surfaced on next submit/flush
                 self._error = exc
             finally:
                 self._queue.task_done()
+                if self._metrics is not None:
+                    self._metrics.gauge("queue.depth").set(self._queue.qsize())
 
     def _raise_pending(self) -> None:
         if self._error is not None:

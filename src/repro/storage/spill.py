@@ -34,6 +34,8 @@ from typing import Iterator
 import numpy as np
 
 from ..errors import CorruptPartError, DiskFullError, StorageError, TransientStorageError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .meter import IOStats
 from .retry import RetryPolicy, is_disk_full_oserror, is_transient_oserror
 from .window import SlidingWindowReader
@@ -78,8 +80,16 @@ class PartStore:
     """Owns a spill directory and tracks every byte moved through it."""
 
     def __init__(
-        self, directory: str | None = None, retry: RetryPolicy | None = None
+        self,
+        directory: str | None = None,
+        retry: RetryPolicy | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
+        #: Observability hooks, shared with the writing queue and the
+        #: sliding-window reader layered over this store.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         if directory is None:
             self._tmp = tempfile.mkdtemp(prefix="kaleido-spill-")
             self.directory = self._tmp
@@ -162,6 +172,8 @@ class PartStore:
                 last = exc
                 if attempt + 1 < self.retry.attempts:
                     self.io.record_retry()
+                    if self.tracer.enabled:
+                        self.tracer.instant("retry", op=verb, attempt=attempt)
                     self.retry.backoff(attempt)
         raise TransientStorageError(
             f"still failing {verb} {path} after {self.retry.attempts} "

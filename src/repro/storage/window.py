@@ -31,17 +31,22 @@ __all__ = ["SlidingWindowReader"]
 class _Prefetch:
     """One in-flight background load."""
 
-    __slots__ = ("thread", "result", "error")
+    __slots__ = ("thread", "result", "error", "done")
 
     def __init__(self, store: "PartStore", part: "PartHandle") -> None:
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
+        #: Set before the thread exits — ``is_set()`` at consume time is
+        #: the prefetch *hit* signal (the read fully overlapped compute).
+        self.done = threading.Event()
 
         def run() -> None:
             try:
                 self.result = store.load(part)
             except BaseException as exc:  # propagate to consumer
                 self.error = exc
+            finally:
+                self.done.set()
 
         self.thread = threading.Thread(
             target=run, name="kaleido-prefetch", daemon=True
@@ -86,6 +91,7 @@ class SlidingWindowReader:
                 yield self.store.load(part)
             return
 
+        tracer = self.store.tracer
         pending: deque[_Prefetch] = deque()
         next_idx = 1  # index of the next part to start loading
         current = self.store.load(self.parts[0])
@@ -95,4 +101,11 @@ class SlidingWindowReader:
                 next_idx += 1
             yield current
             if pending:
-                current = pending.popleft().wait()
+                prefetch = pending.popleft()
+                if tracer.enabled:
+                    # Hit: the background read finished while the main
+                    # part was being consumed; miss: we must block on it.
+                    tracer.instant(
+                        "prefetch-hit" if prefetch.done.is_set() else "prefetch-miss"
+                    )
+                current = prefetch.wait()

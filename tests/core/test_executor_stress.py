@@ -1,0 +1,85 @@
+"""Executor-parity stress sweep with span-tree shape checks.
+
+Random seeded graphs x every mining application x every executor
+(the plain serial baseline, the work-stealing simulated schedule, and
+the real thread pool): the pattern maps must be byte-identical and the
+traces must have identical span-tree *shapes* — same event multiset of
+(kind, name, parent, non-timing args) — even though wall times and
+worker attribution legitimately differ between executors.
+"""
+
+import pytest
+
+from repro import (
+    CliqueDiscovery,
+    FrequentSubgraphMining,
+    KaleidoEngine,
+    MotifCounting,
+    Pattern,
+)
+from repro.apps import PatternMatching, VertexInducedFSM
+from repro.core.executor import SerialExecutor, SimulatedSchedule, ThreadedExecutor
+from repro.obs import Tracer, span_tree_shape
+
+from tests.conftest import random_labeled_graph
+
+TRIANGLE = Pattern.from_adjacency([0, 0, 0], [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+
+APPS = {
+    "fsm": lambda: FrequentSubgraphMining(2, support=4),
+    "vfsm": lambda: VertexInducedFSM(2, support=4),
+    "motif": lambda: MotifCounting(3),
+    "clique": lambda: CliqueDiscovery(3),
+    "matching": lambda: PatternMatching(TRIANGLE),
+}
+
+EXECUTORS = {
+    "serial": lambda: SerialExecutor(),
+    "simulated": lambda: SimulatedSchedule(),
+    "threads": lambda: ThreadedExecutor(max_workers=4),
+}
+
+
+def _run(graph, make_app, make_executor):
+    tracer = Tracer()
+    with KaleidoEngine(
+        graph, workers=4, executor=make_executor(), tracer=tracer
+    ) as engine:
+        result = engine.run(make_app())
+    assert tracer.open_spans() == []
+    return result, span_tree_shape(tracer.events)
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+@pytest.mark.parametrize("app_name", sorted(APPS))
+def test_executors_agree_on_results_and_span_shape(seed, app_name):
+    graph = random_labeled_graph(30, 70, 3, seed=seed)
+    results = {}
+    shapes = {}
+    for exec_name, make_executor in EXECUTORS.items():
+        results[exec_name], shapes[exec_name] = _run(
+            graph, APPS[app_name], make_executor
+        )
+
+    baseline = results["serial"]
+    for exec_name, result in results.items():
+        assert result.pattern_map == baseline.pattern_map, (
+            f"{app_name} pattern map differs under {exec_name} (seed {seed})"
+        )
+        assert result.level_sizes == baseline.level_sizes
+
+    baseline_shape = shapes["serial"]
+    for exec_name, shape in shapes.items():
+        assert shape == baseline_shape, (
+            f"{app_name} span-tree shape differs under {exec_name} (seed {seed})"
+        )
+
+
+def test_shape_contains_the_pipeline_spans():
+    graph = random_labeled_graph(30, 70, 3, seed=11)
+    _, shape = _run(graph, APPS["motif"], EXECUTORS["simulated"])
+    names = {key[1] for key in shape}
+    assert {"run", "level", "plan", "execute", "aggregate", "part"} <= names
+    # part spans hang off a stage, never float free
+    part_parents = {key[2] for key in shape if key[1] == "part"}
+    assert part_parents <= {"execute", "aggregate"}

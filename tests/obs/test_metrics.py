@@ -1,0 +1,129 @@
+"""Unit tests for counters, gauges, histograms and the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_inc_and_snapshot():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert counter.snapshot() == {"type": "counter", "value": 5}
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_counter_merge_adds():
+    a, b = Counter(), Counter()
+    a.inc(2)
+    b.inc(3)
+    a.merge(b)
+    assert a.value == 5
+    assert b.value == 3  # merge does not mutate the source
+
+
+def test_gauge_tracks_peak():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.set(3)
+    gauge.add(2)
+    assert gauge.value == 5
+    assert gauge.peak == 10
+    assert gauge.snapshot() == {"type": "gauge", "value": 5, "peak": 10}
+
+
+def test_gauge_merge_keeps_maxima():
+    a, b = Gauge(), Gauge()
+    a.set(8)
+    a.set(2)
+    b.set(5)
+    a.merge(b)
+    assert a.value == 5
+    assert a.peak == 8
+
+
+def test_histogram_summary():
+    hist = Histogram()
+    for value in (1.0, 3.0, 2.0):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.total == pytest.approx(6.0)
+    assert hist.mean == pytest.approx(2.0)
+    assert hist.min == 1.0 and hist.max == 3.0
+    assert Histogram().mean == 0.0
+
+
+def test_histogram_merge():
+    a, b = Histogram(), Histogram()
+    a.observe(1.0)
+    b.observe(5.0)
+    b.observe(3.0)
+    a.merge(b)
+    assert a.count == 3
+    assert a.min == 1.0 and a.max == 5.0
+    empty = Histogram()
+    empty.merge(a)  # None min/max handled on both sides
+    assert empty.count == 3 and empty.min == 1.0
+    a.merge(Histogram())
+    assert a.count == 3
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    registry = MetricsRegistry()
+    counter = registry.counter("io.retries")
+    assert registry.counter("io.retries") is counter
+    with pytest.raises(ValueError, match="counter"):
+        registry.gauge("io.retries")
+    registry.gauge("queue.depth")
+    registry.histogram("io.write_seconds")
+    assert registry.names() == ["io.retries", "io.write_seconds", "queue.depth"]
+    assert len(registry) == 3
+
+
+def test_registry_snapshot_sorted_and_json_shaped():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.gauge("a").set(7)
+    snap = registry.snapshot()
+    assert list(snap) == ["a", "b"]
+    assert snap["b"]["value"] == 2
+
+
+def test_registry_merge_creates_and_folds():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("hits").inc(1)
+    b.counter("hits").inc(2)
+    b.gauge("depth").set(9)
+    a.merge(b)
+    assert a.counter("hits").value == 3
+    assert a.gauge("depth").value == 9
+
+
+def test_registry_merge_kind_conflict_raises():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x")
+    b.gauge("x")
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_counter_thread_safety():
+    counter = Counter()
+
+    def bump():
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 8000

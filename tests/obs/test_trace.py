@@ -1,0 +1,161 @@
+"""Unit tests for the tracer: spans, instants, threads, the null tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    SHAPE_IGNORED_ARGS,
+    TraceEvent,
+    Tracer,
+    span_tree_shape,
+)
+
+
+class FakeClock:
+    """Deterministic injected clock: each call advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.time = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        now = self.time
+        self.time += self.step
+        return now
+
+
+def test_begin_end_records_pair_with_timestamps():
+    tracer = Tracer(clock=FakeClock())
+    tracer.begin("run", app="motif")
+    tracer.end("run")
+    begin, end = tracer.events
+    assert (begin.kind, begin.name, begin.ts) == ("begin", "run", 1.0)
+    assert (end.kind, end.name, end.ts) == ("end", "run", 2.0)
+    assert begin.args == {"app": "motif"}
+    assert begin.parent is None and begin.depth == 0
+
+
+def test_nested_spans_record_parent_and_depth():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("run"):
+        with tracer.span("level", index=0):
+            with tracer.span("plan"):
+                pass
+    begins = {e.name: e for e in tracer.events if e.kind == "begin"}
+    assert begins["run"].parent is None
+    assert begins["level"].parent == "run" and begins["level"].depth == 1
+    assert begins["plan"].parent == "level" and begins["plan"].depth == 2
+    assert tracer.open_spans() == []
+
+
+def test_mismatched_end_raises():
+    tracer = Tracer()
+    tracer.begin("outer")
+    tracer.begin("inner")
+    with pytest.raises(ValueError, match="inner"):
+        tracer.end("outer")
+    with pytest.raises(ValueError):
+        Tracer().end("never-opened")
+
+
+def test_span_context_manager_closes_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("run"):
+            raise RuntimeError("boom")
+    assert tracer.open_spans() == []
+    kinds = [e.kind for e in tracer.events]
+    assert kinds == ["begin", "end"]
+
+
+def test_instant_carries_enclosing_span():
+    tracer = Tracer()
+    with tracer.span("execute"):
+        tracer.instant("spill", depth=2)
+    (instant,) = [e for e in tracer.events if e.kind == "instant"]
+    assert instant.parent == "execute"
+    assert instant.args == {"depth": 2}
+
+
+def test_complete_span_explicit_track_and_duration():
+    tracer = Tracer(clock=FakeClock())
+    tracer.complete("part", start=1.0, end=3.5, track="worker-2", parent="execute")
+    (event,) = tracer.events
+    assert event.kind == "complete"
+    assert event.track == "worker-2"
+    assert event.dur == pytest.approx(2.5)
+    assert event.parent == "execute"
+
+
+def test_complete_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Tracer().complete("part", start=2.0, end=1.0)
+
+
+def test_spans_nest_per_thread():
+    tracer = Tracer()
+    tracer.begin("main-span")
+    seen: list[str | None] = []
+
+    def worker():
+        # A fresh thread sees an empty stack: its spans do not nest
+        # inside the main thread's open span.
+        with tracer.span("worker-span"):
+            seen.extend(tracer.open_spans())
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    tracer.end("main-span")
+    assert seen == ["worker-span"]
+    begin = next(e for e in tracer.events if e.name == "worker-span")
+    assert begin.parent is None
+
+
+def test_events_property_is_a_snapshot():
+    tracer = Tracer()
+    tracer.instant("a")
+    snapshot = tracer.events
+    tracer.instant("b")
+    assert len(snapshot) == 1
+    assert len(tracer) == 2
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.begin("x")
+    NULL_TRACER.end("anything")  # no mismatch error: it records nothing
+    NULL_TRACER.instant("y")
+    NULL_TRACER.complete("z", start=0.0, end=1.0)
+    with NULL_TRACER.span("w"):
+        pass
+    assert NULL_TRACER.events == []
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.open_spans() == []
+    assert NULL_TRACER.now() == 0.0
+
+
+def test_shape_ignores_timing_and_worker_args():
+    a = [
+        TraceEvent("complete", "part", 0.0, "worker-0", parent="execute",
+                   dur=1.0, args={"task": 3, "worker": 0}),
+    ]
+    b = [
+        TraceEvent("complete", "part", 9.9, "worker-1", parent="execute",
+                   dur=0.1, args={"task": 3, "worker": 1}),
+    ]
+    assert span_tree_shape(a) == span_tree_shape(b)
+    assert "worker" in SHAPE_IGNORED_ARGS
+
+
+def test_shape_distinguishes_structure():
+    a = [TraceEvent("begin", "level", 0.0, 1, parent="run", args={"index": 0})]
+    b = [TraceEvent("begin", "level", 0.0, 1, parent="run", args={"index": 1})]
+    assert span_tree_shape(a) != span_tree_shape(b)
+    # end events carry no extra shape information (their begin does).
+    ended = a + [TraceEvent("end", "level", 1.0, 1, parent="run")]
+    assert span_tree_shape(a) == span_tree_shape(ended)

@@ -1,0 +1,182 @@
+"""Property-based tests for the observability layer.
+
+Three invariants, held under randomly generated operation sequences:
+
+* every ``begin`` has a matching ``end`` (the tracer enforces LIFO
+  pairing, and a balanced program always drains its stack);
+* children nest strictly inside their parents on each thread — the
+  recorded parent of any event is exactly the innermost open span at
+  emission time;
+* counters never go negative, and registry ``merge`` is associative
+  (any grouping of partial registries folds to the same totals).
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry, Tracer, span_tree_shape
+
+_settings = settings(max_examples=50, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Span programs: random trees executed as begin/instant/end sequences.
+# ----------------------------------------------------------------------
+span_trees = st.recursive(
+    st.just([]),
+    lambda children: st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]), children), max_size=4
+    ),
+    max_leaves=12,
+)
+
+
+def _execute(tracer: Tracer, tree, instants_every: bool = True) -> None:
+    for name, children in tree:
+        with tracer.span(name):
+            if instants_every:
+                tracer.instant(f"mark-{name}")
+            _execute(tracer, children, instants_every)
+
+
+@given(tree=span_trees)
+@_settings
+def test_every_begin_has_a_matching_end(tree):
+    tracer = Tracer()
+    _execute(tracer, tree)
+    assert tracer.open_spans() == []
+    begins = [e for e in tracer.events if e.kind == "begin"]
+    ends = [e for e in tracer.events if e.kind == "end"]
+    assert len(begins) == len(ends)
+    # Per-name balance, not just global balance.
+    for name in {e.name for e in begins}:
+        assert sum(e.name == name for e in begins) == sum(
+            e.name == name for e in ends
+        )
+
+
+@given(tree=span_trees)
+@_settings
+def test_children_nest_strictly_inside_parents(tree):
+    tracer = Tracer()
+    _execute(tracer, tree)
+    # Replay the event list: maintaining the stack from begins/ends must
+    # reproduce every event's recorded parent and depth.
+    stack: list[str] = []
+    for event in tracer.events:
+        if event.kind == "begin":
+            expected_parent = stack[-1] if stack else None
+            assert event.parent == expected_parent
+            assert event.depth == len(stack)
+            stack.append(event.name)
+        elif event.kind == "end":
+            assert stack and stack[-1] == event.name
+            stack.pop()
+            assert event.parent == (stack[-1] if stack else None)
+        elif event.kind == "instant":
+            assert event.parent == (stack[-1] if stack else None)
+    assert stack == []
+
+
+@given(tree=span_trees, ts=st.lists(st.floats(0, 100), max_size=4))
+@_settings
+def test_timestamps_monotone_per_thread(tree, ts):
+    clock_values = iter(range(10_000))
+    tracer = Tracer(clock=lambda: float(next(clock_values)))
+    _execute(tracer, tree)
+    stamps = [e.ts for e in tracer.events]
+    assert stamps == sorted(stamps)
+
+
+@given(trees=st.lists(span_trees, min_size=2, max_size=3))
+@_settings
+def test_threads_nest_independently(trees):
+    tracer = Tracer()
+    threads = [
+        threading.Thread(target=_execute, args=(tracer, tree, False))
+        for tree in trees
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Each thread drained its own stack; globally begins match ends and
+    # the combined shape equals the sum of per-tree shapes.
+    begins = [e for e in tracer.events if e.kind == "begin"]
+    ends = [e for e in tracer.events if e.kind == "end"]
+    assert len(begins) == len(ends)
+    expected: dict[tuple, int] = {}
+    for tree in trees:
+        solo = Tracer()
+        _execute(solo, tree, False)
+        for key, count in span_tree_shape(solo.events).items():
+            expected[key] = expected.get(key, 0) + count
+    assert span_tree_shape(tracer.events) == expected
+
+
+# ----------------------------------------------------------------------
+# Metrics: non-negativity and merge associativity.
+# ----------------------------------------------------------------------
+# Gauges model non-negative levels (queue depth, resident bytes): a
+# fresh gauge reads 0, so max-merge is only neutral-element-correct on
+# the non-negative domain.  Histogram observations are kept integral so
+# the associativity check is not defeated by float summation order.
+metric_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("counter"), st.sampled_from(["c1", "c2"]),
+                  st.integers(0, 100)),
+        st.tuples(st.just("gauge"), st.sampled_from(["g1", "g2"]),
+                  st.integers(0, 50)),
+        st.tuples(st.just("histogram"), st.sampled_from(["h1"]),
+                  st.integers(-10, 10).map(float)),
+    ),
+    max_size=30,
+)
+
+
+def _apply(ops) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "counter":
+            registry.counter(name).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name).set(value)
+        else:
+            registry.histogram(name).observe(value)
+    return registry
+
+
+@given(ops=metric_ops)
+@_settings
+def test_counters_never_negative(ops):
+    registry = _apply(ops)
+    for name in registry.names():
+        snap = registry.snapshot()[name]
+        if snap["type"] == "counter":
+            assert snap["value"] >= 0
+
+
+@given(a=metric_ops, b=metric_ops, c=metric_ops)
+@_settings
+def test_merge_is_associative(a, b, c):
+    left_a, left_b, left_c = _apply(a), _apply(b), _apply(c)
+    left_a.merge(left_b)
+    left_a.merge(left_c)
+
+    right_a, right_b, right_c = _apply(a), _apply(b), _apply(c)
+    right_b.merge(right_c)
+    right_a.merge(right_b)
+
+    assert left_a.snapshot() == right_a.snapshot()
+
+
+@given(a=metric_ops, b=metric_ops)
+@_settings
+def test_merge_is_commutative(a, b):
+    ab = _apply(a)
+    ab.merge(_apply(b))
+    ba = _apply(b)
+    ba.merge(_apply(a))
+    assert ab.snapshot() == ba.snapshot()

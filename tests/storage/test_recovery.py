@@ -66,6 +66,7 @@ def _kill_and_resume(graph, make_app, tmp_path, label, boundary, resume_app=None
         )
 
 
+@pytest.mark.slow
 def test_fsm_kill_at_every_level(tmp_path, labeled_square):
     make_app = lambda: FrequentSubgraphMining(num_edges=3, support=1)
     straight_app = make_app()
@@ -86,6 +87,7 @@ def test_fsm_kill_at_every_level(tmp_path, labeled_square):
         assert resumed_app.total_insertions == straight_app.total_insertions
 
 
+@pytest.mark.slow
 def test_motif_kill_at_every_level_hybrid(tmp_path, paper_graph):
     make_app = lambda: MotifCounting(4)
     straight = _run(paper_graph, make_app(), tmp_path, "motif-straight")
@@ -94,6 +96,63 @@ def test_motif_kill_at_every_level_hybrid(tmp_path, paper_graph):
         assert resumed.pattern_map == straight.pattern_map
         assert resumed.value == straight.value
         assert resumed.extra["resumed_from_level"] == boundary
+
+
+def test_resumed_run_trace_shows_restore_and_no_replayed_levels(
+    tmp_path, paper_graph
+):
+    """The resumed run's trace proves recovery actually skipped work.
+
+    It must contain exactly one ``checkpoint-restore`` instant naming the
+    restored iteration, and its ``level`` spans must cover only the
+    iterations *after* the checkpoint — an already-checkpointed level
+    reappearing as a span would mean the engine silently recomputed it.
+    """
+    from repro.obs import Tracer
+
+    make_app = lambda: MotifCounting(4)
+    boundary = 0
+    total_iterations = make_app().iterations()
+    ckpt = tmp_path / "ckpt-trace"
+    with pytest.raises(_SimulatedCrash):
+        with KaleidoEngine(
+            paper_graph,
+            storage_mode="spill-last",
+            spill_dir=str(tmp_path / "spill-trace-a"),
+            checkpoint_dir=str(ckpt),
+            on_checkpoint=_crash_at(boundary),
+        ) as engine:
+            engine.run(make_app())
+
+    tracer = Tracer()
+    with KaleidoEngine(
+        paper_graph,
+        storage_mode="spill-last",
+        spill_dir=str(tmp_path / "spill-trace-b"),
+        checkpoint_dir=str(ckpt),
+        tracer=tracer,
+    ) as engine:
+        resumed = engine.run(make_app(), resume=True)
+    assert resumed.extra["resumed_from_level"] == boundary
+
+    events = tracer.events
+    restores = [e for e in events if e.name == "checkpoint-restore"]
+    assert len(restores) == 1
+    assert restores[0].kind == "instant"
+    assert restores[0].args["iteration"] == boundary
+
+    level_indices = [
+        e.args["index"] for e in events if e.kind == "begin" and e.name == "level"
+    ]
+    assert level_indices == list(range(boundary + 1, total_iterations)), (
+        "resumed trace must span only the not-yet-checkpointed levels"
+    )
+    assert len(level_indices) == len(set(level_indices))  # no duplicates
+    # The restore landed before any level work started.
+    first_level_ts = min(
+        e.ts for e in events if e.kind == "begin" and e.name == "level"
+    )
+    assert restores[0].ts <= first_level_ts
 
 
 def test_resume_with_empty_checkpoint_dir_starts_fresh(tmp_path, paper_graph):

@@ -66,6 +66,43 @@ def test_mine_spill_options(tmp_path, capsys):
     assert payload["io_bytes_written"] > 0
 
 
+def test_run_alias_with_trace_exports(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    jsonl = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.json"
+    assert main(
+        ["run", "motif", "-k", "3", "--dataset", "citeseer", "--profile", "tiny",
+         "--workers", "2", "--trace-out", str(trace),
+         "--trace-jsonl", str(jsonl), "--metrics-out", str(metrics), "--json"]
+    ) == 0
+    capsys.readouterr()
+
+    payload = json.loads(trace.read_text())
+    events = payload["traceEvents"]
+    names = {e["name"] for e in events}
+    assert {"run", "level", "plan", "execute", "aggregate", "part"} <= names
+    worker_tracks = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["args"]["name"].startswith("worker-")
+    }
+    assert worker_tracks == {"worker-0", "worker-1"}
+
+    lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert len(lines) == len([e for e in events if e["ph"] != "M"])
+
+    snap = json.loads(metrics.read_text())
+    assert snap["hasher.hits"]["type"] == "counter"
+    assert "mem.bytes" in snap
+
+
+def test_mine_without_trace_flags_writes_nothing(tmp_path, capsys):
+    assert main(
+        ["mine", "tc", "--dataset", "citeseer", "--profile", "tiny", "--json"]
+    ) == 0
+    capsys.readouterr()
+    assert list(tmp_path.iterdir()) == []
+
+
 def test_generate_command(tmp_path, capsys):
     path = tmp_path / "gen.txt"
     assert main(

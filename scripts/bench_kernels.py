@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Expansion-kernel benchmark: scalar vs vectorized, threads vs processes.
+
+Times the exploration hot path both ways on the synthetic CiteSeer/MiCo
+stand-ins:
+
+* **kernel micro-bench** — expand one full CSE level per dataset through
+  the scalar per-embedding loop (tuple decode + ``expand_vertex_part``)
+  and through the vectorized block kernel (``decode_block`` +
+  ``expand_vertex_block``), plus the edge-induced analogue, and report
+  the speedup.  The outputs are asserted bit-identical first — a fast
+  wrong kernel must fail the benchmark, not win it.
+* **executor wall-clock** — one 3-motif engine run under the real
+  thread-pool executor and the real spawn-based process-pool executor,
+  reporting wall seconds for each.
+* **hasher hit rate** — the EigenHash cache hit rate of an FSM run (the
+  per-embedding hashing workload) must stay high — the raw-structure
+  front cache exists exactly for this — and is recorded in the output.
+
+Writes ``BENCH_kernels.json`` and exits nonzero if the vectorized kernel
+is slower than the scalar loop on the smoke workload (the CI guard), if
+kernel/scalar outputs differ, or if the hasher hit rate collapses.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py [--quick] [--out BENCH_kernels.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import FrequentSubgraphMining, KaleidoEngine, MotifCounting  # noqa: E402
+from repro.core import kernels  # noqa: E402
+from repro.core.cse import CSE  # noqa: E402
+from repro.core.explore import (  # noqa: E402
+    expand_edge_level,
+    expand_edge_part,
+    expand_vertex_level,
+    expand_vertex_part,
+)
+from repro.graph import datasets  # noqa: E402
+from repro.graph.edge_index import EdgeIndex  # noqa: E402
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_vertex_kernel(graph, depth: int, repeats: int) -> dict:
+    """Scalar vs vectorized expansion of one vertex-induced level."""
+    cse = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    for _ in range(depth):
+        expand_vertex_level(graph, cse)
+    size = cse.size()
+    adjacency = graph.adjacency_sets()  # pre-warmed for the scalar path
+    ctx = kernels.vertex_kernel_context(graph)
+
+    def scalar():
+        embeddings = [emb for _, emb in cse.iter_embeddings()]
+        return expand_vertex_part(graph, adjacency, embeddings, (0, size), 0)
+
+    def vectorized():
+        block = cse.decode_block(0, size)
+        return kernels.expand_vertex_block(ctx, block)
+
+    scalar_s, ref = _best_of(scalar, repeats)
+    vector_s, out = _best_of(vectorized, repeats)
+    vert, counts, examined = out
+    if not (
+        np.array_equal(vert, ref.vert)
+        and np.array_equal(counts, ref.counts)
+        and examined == ref.candidates_examined
+    ):
+        raise RuntimeError(f"vertex kernel output differs from scalar on {graph.name}")
+    return {
+        "embeddings": size,
+        "emitted": int(ref.emitted),
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vector_s,
+        "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+    }
+
+
+def bench_edge_kernel(graph, repeats: int) -> dict:
+    """Scalar vs vectorized expansion of one edge-induced level."""
+    index = EdgeIndex(graph)
+    cse = CSE(np.arange(index.num_edges, dtype=np.int32))
+    expand_edge_level(graph, index, cse)
+    size = cse.size()
+    eu, ev = index.endpoint_lists()
+    incident = index.incident_lists()
+    ctx = kernels.edge_kernel_context(index)
+
+    def scalar():
+        embeddings = [emb for _, emb in cse.iter_embeddings()]
+        return expand_edge_part(eu, ev, incident, embeddings, (0, size), 0)
+
+    def vectorized():
+        block = cse.decode_block(0, size)
+        return kernels.expand_edge_block(ctx, block)
+
+    scalar_s, ref = _best_of(scalar, repeats)
+    vector_s, out = _best_of(vectorized, repeats)
+    vert, counts, examined = out
+    if not (
+        np.array_equal(vert, ref.vert)
+        and np.array_equal(counts, ref.counts)
+        and examined == ref.candidates_examined
+    ):
+        raise RuntimeError(f"edge kernel output differs from scalar on {graph.name}")
+    return {
+        "embeddings": size,
+        "emitted": int(ref.emitted),
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vector_s,
+        "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+    }
+
+
+def bench_executors(graph, workers: int) -> dict:
+    """Wall-clock of one 3-motif run per real executor, parity-checked."""
+    record = {}
+    maps = {}
+    for spec in ("threads", "processes"):
+        with KaleidoEngine(graph, workers=workers, executor=spec) as engine:
+            result = engine.run(MotifCounting(3))
+        record[spec] = {
+            "wall_seconds": result.wall_seconds,
+            "pattern_counts": sorted(result.value.values()),
+        }
+        maps[spec] = result.pattern_map
+    if maps["threads"] != maps["processes"]:
+        raise RuntimeError("threads and processes disagree on the pattern map")
+    threads_s = record["threads"]["wall_seconds"]
+    processes_s = record["processes"]["wall_seconds"]
+    record["processes_speedup_vs_threads"] = threads_s / processes_s
+    record["cpu_count"] = os.cpu_count()
+    return record
+
+
+def bench_hasher(graph) -> dict:
+    """Hit rate of the pattern-hash cache over an FSM run.
+
+    FSM hashes the pattern of every embedding it scores (motif mappers
+    cache patterns themselves and barely touch the hasher), so this is
+    the workload the raw-structure front cache exists for.
+    """
+    with KaleidoEngine(graph) as engine:
+        engine.run(FrequentSubgraphMining(2, support=3))
+        hasher = engine.hasher
+        record = {
+            "hits": hasher.hits,
+            "misses": hasher.misses,
+            "hit_rate": hasher.hit_rate,
+        }
+    if record["hits"] + record["misses"] > 0 and record["hit_rate"] < 0.5:
+        raise RuntimeError(
+            f"hasher hit rate collapsed: {record['hit_rate']:.3f} "
+            f"({record['hits']} hits / {record['misses']} misses)"
+        )
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: tiny profiles, fewer repeats",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    profile = "tiny" if args.quick else "bench"
+    repeats = 2 if args.quick else 3
+    names = ["citeseer"] if args.quick else ["citeseer", "mico"]
+
+    record: dict = {
+        "benchmark": "expansion_kernels",
+        "profile": profile,
+        "datasets": {},
+    }
+    failures: list[str] = []
+    for name in names:
+        graph = datasets.load(name, profile)
+        vertex = bench_vertex_kernel(graph, depth=2, repeats=repeats)
+        edge = bench_edge_kernel(graph, repeats=repeats)
+        record["datasets"][name] = {"vertex_kernel": vertex, "edge_kernel": edge}
+        print(
+            f"{name:>10} vertex: {vertex['embeddings']} embeddings, "
+            f"scalar {vertex['scalar_seconds'] * 1e3:.1f}ms vs "
+            f"vectorized {vertex['vectorized_seconds'] * 1e3:.1f}ms "
+            f"({vertex['speedup']:.1f}x)"
+        )
+        print(
+            f"{name:>10}   edge: {edge['embeddings']} embeddings, "
+            f"scalar {edge['scalar_seconds'] * 1e3:.1f}ms vs "
+            f"vectorized {edge['vectorized_seconds'] * 1e3:.1f}ms "
+            f"({edge['speedup']:.1f}x)"
+        )
+        for kind, run in (("vertex", vertex), ("edge", edge)):
+            if run["speedup"] < 1.0:
+                failures.append(
+                    f"{name} {kind} kernel slower than scalar "
+                    f"({run['speedup']:.2f}x)"
+                )
+
+    smoke = datasets.load("citeseer", profile)
+    record["executors"] = bench_executors(smoke, workers=args.workers)
+    print(
+        f"  executors: threads "
+        f"{record['executors']['threads']['wall_seconds']:.3f}s vs processes "
+        f"{record['executors']['processes']['wall_seconds']:.3f}s "
+        f"({record['executors']['processes_speedup_vs_threads']:.2f}x, "
+        f"{record['executors']['cpu_count']} cores)"
+    )
+    record["hasher"] = bench_hasher(smoke)
+    print(
+        f"     hasher: {record['hasher']['hits']} hits / "
+        f"{record['hasher']['misses']} misses "
+        f"(hit rate {record['hasher']['hit_rate']:.3f})"
+    )
+
+    record["failures"] = failures
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

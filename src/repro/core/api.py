@@ -91,6 +91,16 @@ class MiningApplication:
         """Listing 1's EmbeddingFilter; default accepts everything."""
         return True
 
+    def overrides_embedding_filter(self) -> bool:
+        """Whether this app installs a real (non-default) embedding filter.
+
+        The engine checks this to pick the expansion path: the default
+        accept-everything filter lets the vectorized block kernels run;
+        an overridden filter must be called per candidate, which forces
+        the scalar per-embedding fallback.
+        """
+        return type(self).embedding_filter is not MiningApplication.embedding_filter
+
     # ------------------------------------------------------------------
     # Phase 2 hooks
     # ------------------------------------------------------------------

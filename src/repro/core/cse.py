@@ -58,10 +58,23 @@ class Level(Protocol):
 
 
 class InMemoryLevel:
-    """A CSE level fully resident in memory."""
+    """A CSE level fully resident in memory.
 
-    def __init__(self, vert: np.ndarray, off: np.ndarray | None) -> None:
-        self.vert = np.ascontiguousarray(vert, dtype=np.int32)
+    ``dtype`` is the id storage width (``int32`` by default; the engine
+    widens it to ``int64`` past the 2^31 id boundary via
+    :func:`repro.core.kernels.id_dtype` so huge graphs don't silently
+    overflow).
+    """
+
+    def __init__(
+        self,
+        vert: np.ndarray,
+        off: np.ndarray | None,
+        dtype: np.dtype | None = None,
+    ) -> None:
+        if dtype is None:
+            dtype = np.dtype(np.int32)
+        self.vert = np.ascontiguousarray(vert, dtype=dtype)
         self.off = None if off is None else np.ascontiguousarray(off, dtype=np.int64)
         if self.off is not None:
             if self.off[0] != 0 or self.off[-1] != self.vert.shape[0]:
@@ -200,6 +213,57 @@ class CSE:
 
         return walk(level_idx)
 
+    # ------------------------------------------------------------------
+    # Block decode (vectorized-kernel fast path)
+    # ------------------------------------------------------------------
+    def block_decodable(self, level_idx: int | None = None) -> bool:
+        """Whether :meth:`decode_block` may run for ``level_idx``.
+
+        Requires every level up to ``level_idx`` to be fully in memory:
+        block decoding gathers with fancy indexing on the whole ``vert``
+        arrays, and doing that against a spilled level would silently
+        materialise it — the streaming tuple walk stays the right tool
+        there.
+        """
+        if level_idx is None:
+            level_idx = self.depth - 1
+        return all(
+            isinstance(self.levels[l], InMemoryLevel) for l in range(level_idx + 1)
+        )
+
+    def decode_block(self, start: int, end: int, level_idx: int | None = None) -> np.ndarray:
+        """Decode embeddings ``start..end`` of a level as one 2-D array.
+
+        Returns shape ``(end - start, level_idx + 1)``: row ``i`` is the
+        vertex (or edge-id) tuple of embedding ``start + i``.  The walk
+        up the parent offsets is one vectorized ``searchsorted`` per
+        level instead of one Python tuple per embedding — the fast path
+        the expansion kernels and the mapper block decode use when no
+        Python filter forces tuples.  Check :meth:`block_decodable`
+        first; lower levels must be resident.
+        """
+        if level_idx is None:
+            level_idx = self.depth - 1
+        if not 0 <= level_idx < self.depth:
+            raise IndexError(f"level {level_idx} out of range 0..{self.depth - 1}")
+        total = self.levels[level_idx].num_embeddings
+        if not 0 <= start <= end <= total:
+            raise IndexError(f"block [{start}, {end}) outside level of {total}")
+        positions = np.arange(start, end, dtype=np.int64)
+        columns: list[np.ndarray] = []
+        for l in range(level_idx, 0, -1):
+            level = self.levels[l]
+            columns.append(level.vert_array()[positions])
+            off = level.off_array()
+            if off is None:
+                raise ValueError(f"level {l} off array unavailable for decoding")
+            positions = np.searchsorted(off, positions, side="right") - 1
+        columns.append(self.levels[0].vert_array()[positions])
+        columns.reverse()
+        if not columns:  # pragma: no cover - level_idx >= 0 always holds
+            return np.zeros((end - start, 0), dtype=np.int64)
+        return np.stack(columns, axis=1)
+
     def iter_with_parents(self) -> Iterator[tuple[int, int, tuple[int, ...]]]:
         """Like :meth:`iter_embeddings` on the top level but also yields the
         parent position — the load-balance predictor needs it to find the
@@ -251,7 +315,7 @@ class CSE:
         drop = getattr(top, "drop", None)
         if callable(drop):
             drop()
-        self.levels[-1] = InMemoryLevel(vert, new_off)
+        self.levels[-1] = InMemoryLevel(vert, new_off, dtype=vert.dtype)
 
     @property
     def nbytes_in_memory(self) -> int:

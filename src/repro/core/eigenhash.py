@@ -214,6 +214,13 @@ class PatternHasher:
         #: benchmark and the caching ablation.
         self.cache = cache
         self._cache: dict[tuple, int] = {}
+        # Raw-structure front cache: embedding streams repeat the same raw
+        # (labels, bits) structure over and over, and those tuples already
+        # exist on the Pattern — so a hit costs one dict probe and skips
+        # the O(k^2) (label, degree) sort + permute entirely.  Misses fall
+        # through to the normalised cache, which still unifies automorphic
+        # raw structures into one polynomial computation.
+        self._raw_cache: dict[tuple, int] = {}
         self._representatives: dict[int, Pattern] = {}
         self.hits = 0
         self.misses = 0
@@ -223,11 +230,19 @@ class PatternHasher:
         self._stats_lock = threading.Lock()
 
     def hash_pattern(self, pattern: Pattern) -> int:
+        if self.cache:
+            raw_key = (pattern.labels, pattern.bits, pattern.edge_labels)
+            cached = self._raw_cache.get(raw_key)
+            if cached is not None:
+                with self._stats_lock:
+                    self.hits += 1
+                return cached
         normalized, _ = pattern.sorted_by_label_degree()
         key = (normalized.labels, normalized.bits, normalized.edge_labels)
         if self.cache:
             cached = self._cache.get(key)
             if cached is not None:
+                self._raw_cache[raw_key] = cached
                 with self._stats_lock:
                     self.hits += 1
                 return cached
@@ -235,8 +250,16 @@ class PatternHasher:
             self.misses += 1
         value = eigen_hash(pattern)
         self._cache[key] = value
+        if self.cache:
+            self._raw_cache[raw_key] = value
         self._representatives.setdefault(value, normalized)
         return value
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``hash_pattern`` calls served from a cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def representative(self, hash_value: int) -> Pattern | None:
         """A normalised pattern that produced ``hash_value``, if any seen."""
@@ -246,7 +269,10 @@ class PatternHasher:
     def nbytes(self) -> int:
         """Rough accounted footprint of the cache (for the MemoryMeter)."""
         per_entry = 120  # dict slot + key tuple + int, measured empirically
-        return len(self._cache) * per_entry + len(self._representatives) * 96
+        return (
+            (len(self._cache) + len(self._raw_cache)) * per_entry
+            + len(self._representatives) * 96
+        )
 
     def __len__(self) -> int:
         return len(self._cache)

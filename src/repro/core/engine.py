@@ -117,9 +117,12 @@ class KaleidoEngine:
     executor:
         ``"serial"`` (default: serial execution replayed through the
         work-stealing model), ``"threads"`` (a real thread pool of
-        ``workers`` threads), or any :class:`PartExecutor` instance.
-        Part results are merged in part order, so every executor produces
-        identical mining results.
+        ``workers`` threads), ``"processes"`` (a real spawn-based process
+        pool of ``workers`` workers for the vectorized block tasks; other
+        stages run inline), or any :class:`PartExecutor` instance.  Part
+        results are merged in part order, so every executor produces
+        identical mining results.  Executors resolved from a spec string
+        are closed with the engine; instances are caller-owned.
     queue_maxsize:
         Bound on the writing queue's in-flight arrays (producer
         backpressure).
@@ -197,6 +200,9 @@ class KaleidoEngine:
         #: beats an out-of-control run in production settings.
         self.max_embeddings = max_embeddings
         self.executor = resolve_executor(executor)
+        # Executors resolved from a spec string are engine-owned: close()
+        # reaps their pools.  Caller-supplied instances stay caller-owned.
+        self._owns_executor = not isinstance(executor, PartExecutor)
         self._store: PartStore | None = (
             PartStore(spill_dir, retry=io_retry, tracer=self.tracer, metrics=self.metrics)
             if spill_dir is not None
@@ -269,6 +275,11 @@ class KaleidoEngine:
         elif app.induced != "vertex":
             raise ValueError(f"unknown induced mode {app.induced!r}")
 
+        # The default accept-everything filter means "no filter": passing
+        # None routes expansion through the vectorized block kernels; an
+        # overridden filter forces the scalar per-candidate fallback.
+        emb_filter = app.embedding_filter if app.overrides_embedding_filter() else None
+
         roots = app.init(ctx)
         cse = CSE(roots)
         reduced: PatternMap = {}
@@ -316,7 +327,7 @@ class KaleidoEngine:
                                 stats = expand_vertex_level(
                                     self.graph,
                                     cse,
-                                    app.embedding_filter,
+                                    emb_filter,
                                     parts=plan.part_bounds,
                                     sink=plan.sink,
                                     executor=self.executor,
@@ -329,7 +340,7 @@ class KaleidoEngine:
                                     self.graph,
                                     ctx.edge_index,
                                     cse,
-                                    app.embedding_filter,
+                                    emb_filter,
                                     parts=plan.part_bounds,
                                     sink=plan.sink,
                                     executor=self.executor,
@@ -602,8 +613,11 @@ class KaleidoEngine:
         return None if store is None else store.io
 
     def close(self) -> None:
-        """Delete spill files (safe to call twice)."""
+        """Delete spill files and reap engine-owned worker pools (safe to
+        call twice)."""
         self._policy.close()
+        if self._owns_executor:
+            self.executor.close()
 
     def __enter__(self) -> "KaleidoEngine":
         return self

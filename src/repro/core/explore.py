@@ -7,12 +7,25 @@ the Definition-2 canonical filter plus an optional user filter (Listing 1's
 
 Expansion is partitioned: the caller supplies contiguous part boundaries
 over the current top level (either an even split or the prediction-driven
-split from :mod:`repro.balance`), and each part is expanded by a *pure
-per-part function* (:func:`expand_vertex_part` / :func:`expand_edge_part`)
+split from :mod:`repro.balance`), and each part becomes one executor task
 so a :class:`repro.core.executor.PartExecutor` can run parts in any order
-— serially, on a thread pool, or under the work-stealing replay — and the
-results are merged deterministically in part-index order.  Output goes to
-a *sink* — in-memory for the common case, a spilling sink
+— serially, on a thread pool, on a process pool, or under the
+work-stealing replay — with results merged deterministically in
+part-index order.  Two per-part implementations exist:
+
+* the **vectorized kernels** (:mod:`repro.core.kernels`): each part's
+  embeddings are decoded straight off the CSE ``off``/``vert`` arrays as
+  one 2-D block (:meth:`repro.core.cse.CSE.decode_block`) and expanded by
+  batched numpy CSR gathers + canonical-filter masks.  This is the
+  default whenever no Python ``embedding_filter`` is installed and every
+  CSE level is resident;
+* the **scalar per-part functions** (:func:`expand_vertex_part` /
+  :func:`expand_edge_part`): the original per-embedding Python loops.
+  They remain the parity oracle for the kernels and the fallback when a
+  user filter must run per candidate or a level is spilled (streaming
+  tuple decode keeps the out-of-core memory bound).
+
+Output goes to a *sink* — in-memory for the common case, a spilling sink
 (:mod:`repro.storage`) when the memory budget says the next level will not
 fit; sinks accept out-of-order part submission (each write carries its
 part index) so a concurrent executor can overlap part I/O with compute.
@@ -23,13 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import partial
 from itertools import islice
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..balance.worksteal import Schedule
 from ..graph.edge_index import EdgeIndex
 from ..graph.graph import Graph
+from . import kernels
 from .cse import CSE, InMemoryLevel, Level
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -43,6 +57,8 @@ __all__ = [
     "PartExpansion",
     "LevelSink",
     "InMemorySink",
+    "VertexBlockTask",
+    "EdgeBlockTask",
     "canonical_extensions",
     "expand_vertex_part",
     "expand_edge_part",
@@ -115,11 +131,18 @@ class LevelSink:
 
 
 class InMemorySink(LevelSink):
-    """Accumulates parts in memory into an :class:`InMemoryLevel`."""
+    """Accumulates parts in memory into an :class:`InMemoryLevel`.
 
-    def __init__(self) -> None:
+    ``dtype`` is the id storage width of the produced level; the planner
+    derives it from the graph / edge-index size
+    (:func:`repro.core.kernels.id_dtype`), so id spaces past the
+    ``int32`` boundary widen to ``int64`` instead of overflowing.
+    """
+
+    def __init__(self, dtype: np.dtype | None = None) -> None:
         self._parts: list[tuple[int, np.ndarray]] = []
         self._seq = 0
+        self._dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.int32)
 
     def write_part(self, vert: np.ndarray, index: int | None = None) -> None:
         # Only unindexed writes consume the sequence counter, and explicit
@@ -138,8 +161,8 @@ class InMemorySink(LevelSink):
         if ordered:
             vert = np.concatenate(ordered)
         else:
-            vert = np.zeros(0, dtype=np.int32)
-        return InMemoryLevel(vert, off)
+            vert = np.zeros(0, dtype=self._dtype)
+        return InMemoryLevel(vert, off, dtype=self._dtype)
 
     def abort(self) -> None:
         self._parts.clear()
@@ -198,11 +221,15 @@ def expand_vertex_part(
     bound: tuple[int, int],
     index: int,
     embedding_filter: VertexFilter | None = None,
+    out_dtype: np.dtype | None = None,
 ) -> PartExpansion:
     """Expand one contiguous part of a level by one vertex.
 
     Pure function of its inputs (the graph and adjacency are read-only),
-    so an executor may run parts concurrently and in any order.
+    so an executor may run parts concurrently and in any order.  This is
+    the scalar reference implementation — the parity oracle for
+    :func:`repro.core.kernels.expand_vertex_block` and the fallback when
+    a Python ``embedding_filter`` must run per candidate.
     """
     buffer: list[int] = []
     counts = np.zeros(len(embeddings), dtype=np.int64)
@@ -228,7 +255,7 @@ def expand_vertex_part(
     return PartExpansion(
         index=index,
         bound=bound,
-        vert=np.asarray(buffer, dtype=np.int32),
+        vert=np.asarray(buffer, dtype=out_dtype if out_dtype is not None else np.int32),
         counts=counts,
         emitted=len(buffer),
         candidates_examined=examined,
@@ -243,11 +270,13 @@ def expand_edge_part(
     bound: tuple[int, int],
     index: int,
     embedding_filter: EdgeFilter | None = None,
+    out_dtype: np.dtype | None = None,
 ) -> PartExpansion:
     """Edge-induced analogue of :func:`expand_vertex_part`.
 
     CSE levels hold edge ids; the candidate set of an embedding is every
-    edge incident to one of its endpoint vertices.
+    edge incident to one of its endpoint vertices.  Scalar reference for
+    :func:`repro.core.kernels.expand_edge_block`.
     """
     buffer: list[int] = []
     counts = np.zeros(len(embeddings), dtype=np.int64)
@@ -295,11 +324,98 @@ def expand_edge_part(
     return PartExpansion(
         index=index,
         bound=bound,
-        vert=np.asarray(buffer, dtype=np.int32),
+        vert=np.asarray(buffer, dtype=out_dtype if out_dtype is not None else np.int32),
         counts=counts,
         emitted=len(buffer),
         candidates_examined=examined,
     )
+
+
+# ----------------------------------------------------------------------
+# Vectorized block tasks (one per part, shipped whole to executors)
+# ----------------------------------------------------------------------
+class _BlockTask:
+    """One part's vectorized expansion: a decoded block plus its bounds.
+
+    Instances are the executor's unit of work on the kernel path.  The
+    kernel context (the graph's CSR arrays) rides along locally for
+    in-process executors, but is *stripped on pickle*: a
+    :class:`~repro.core.executor.ProcessExecutor` reads
+    ``shared_context`` once, installs it in every worker through the pool
+    initializer, and the unpickled task looks it up via
+    :func:`repro.core.kernels.current_worker_context` — so each task's
+    pickle carries only its block.
+    """
+
+    kernel: Callable = None  # type: ignore[assignment]
+
+    def __init__(self, ctx, block: np.ndarray, bound: tuple[int, int], index: int) -> None:
+        self.shared_context = ctx
+        self.block = block
+        self.bound = bound
+        self.index = index
+
+    def __getstate__(self) -> dict:
+        return {"block": self.block, "bound": self.bound, "index": self.index}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.shared_context = None
+
+    def __call__(self) -> PartExpansion:
+        ctx = self.shared_context
+        if ctx is None:
+            ctx = kernels.current_worker_context()
+        vert, counts, examined = type(self).kernel(ctx, self.block)
+        return PartExpansion(
+            index=self.index,
+            bound=self.bound,
+            vert=vert,
+            counts=counts,
+            emitted=int(vert.shape[0]),
+            candidates_examined=examined,
+        )
+
+
+class VertexBlockTask(_BlockTask):
+    kernel = staticmethod(kernels.expand_vertex_block)
+
+
+class EdgeBlockTask(_BlockTask):
+    kernel = staticmethod(kernels.expand_edge_block)
+
+
+def _scalar_task_factory(cse: CSE, make_part: Callable[..., PartExpansion]):
+    """Tasks that stream the level once and decode tuples per part.
+
+    A spilled level never materialises: each part's embeddings are
+    decoded lazily as the executor pulls its task, so the serial executor
+    holds at most one part's tuples in memory at a time.
+    """
+
+    def factory(parts: Sequence[tuple[int, int]]):
+        emb_iter = iter(cse.iter_embeddings())
+        for index, bound in enumerate(parts):
+            start, end = bound
+            embeddings = [emb for _, emb in islice(emb_iter, end - start)]
+            yield partial(make_part, embeddings, bound, index)
+
+    return factory
+
+
+def _block_task_factory(cse: CSE, ctx, task_cls: type[_BlockTask]):
+    """Tasks that decode each part as one 2-D block (kernel fast path).
+
+    Decoding happens as the executor pulls each task, so at most a
+    bounded number of blocks (the executor's in-flight window) exist at
+    once.
+    """
+
+    def factory(parts: Sequence[tuple[int, int]]):
+        for index, (start, end) in enumerate(parts):
+            yield task_cls(ctx, cse.decode_block(start, end), (start, end), index)
+
+    return factory
 
 
 # ----------------------------------------------------------------------
@@ -311,18 +427,17 @@ def _run_expansion(
     sink: LevelSink | None,
     executor: "PartExecutor | None",
     workers: int,
-    make_part: Callable[..., PartExpansion],
+    task_factory: Callable[[Sequence[tuple[int, int]]], Iterable[Callable[[], PartExpansion]]],
     tracer: "Tracer | None" = None,
+    dtype: np.dtype | None = None,
 ) -> ExpansionStats:
     """Common expansion driver shared by the vertex and edge paths.
 
-    The top level is streamed exactly once (a spilled level never
-    materialises): each part's embeddings are decoded lazily as the
-    executor pulls its task, so the serial executor holds at most one
-    part's tuples in memory at a time.  Completed parts go to the sink as
-    they finish (possibly out of order); counts and stats are assembled in
-    part-index order, so the produced level is identical for every
-    executor.
+    ``task_factory`` turns the part bounds into executor tasks — either
+    the streaming scalar decode or the vectorized block decode.
+    Completed parts go to the sink as they finish (possibly out of
+    order); counts and stats are assembled in part-index order, so the
+    produced level is identical for every executor.
     """
     from .executor import SerialExecutor
 
@@ -331,17 +446,9 @@ def _run_expansion(
         parts = [(0, total)]
     _check_parts(parts, total)
     if sink is None:
-        sink = InMemorySink()
+        sink = InMemorySink(dtype=dtype)
     if executor is None:
         executor = SerialExecutor()
-
-    emb_iter = iter(cse.iter_embeddings())
-
-    def tasks():
-        for index, bound in enumerate(parts):
-            start, end = bound
-            embeddings = [emb for _, emb in islice(emb_iter, end - start)]
-            yield partial(make_part, embeddings, bound, index)
 
     counts = np.zeros(total, dtype=np.int64)
 
@@ -352,7 +459,7 @@ def _run_expansion(
 
     try:
         report = executor.run(
-            tasks(), workers=workers, on_result=on_result,
+            task_factory(parts), workers=workers, on_result=on_result,
             tracer=tracer, phase="execute",
         )
     except BaseException:
@@ -389,22 +496,32 @@ def expand_vertex_level(
     executor: "PartExecutor | None" = None,
     workers: int = 1,
     tracer: "Tracer | None" = None,
+    use_kernels: bool = True,
 ) -> ExpansionStats:
     """Expand the CSE's top level by one vertex (one exploration iteration).
 
     Parts are contiguous position ranges over the top level; each becomes
-    one executor task.  Appends the new level to the CSE and returns the
-    per-part stats.  ``tracer`` (optional) receives the executor's
-    per-part worker spans.
+    one executor task.  Runs the vectorized block kernel when no
+    ``embedding_filter`` is installed and every level is resident
+    (``use_kernels=False`` forces the scalar path — the parity oracle);
+    otherwise falls back to the scalar per-embedding loop.  Appends the
+    new level to the CSE and returns the per-part stats.  ``tracer``
+    (optional) receives the executor's per-part worker spans.
     """
-    adjacency = graph.adjacency_sets()
-    make_part = partial(_vertex_part_task, graph, adjacency, embedding_filter)
-    return _run_expansion(cse, parts, sink, executor, workers, make_part, tracer)
+    dtype = graph.id_dtype
+    if embedding_filter is None and use_kernels and cse.block_decodable():
+        ctx = kernels.vertex_kernel_context(graph, out_dtype=dtype)
+        factory = _block_task_factory(cse, ctx, VertexBlockTask)
+    else:
+        adjacency = graph.adjacency_sets()
+        make_part = partial(_vertex_part_task, graph, adjacency, embedding_filter, dtype)
+        factory = _scalar_task_factory(cse, make_part)
+    return _run_expansion(cse, parts, sink, executor, workers, factory, tracer, dtype)
 
 
-def _vertex_part_task(graph, adjacency, embedding_filter, embeddings, bound, index):
+def _vertex_part_task(graph, adjacency, embedding_filter, dtype, embeddings, bound, index):
     return expand_vertex_part(
-        graph, adjacency, embeddings, bound, index, embedding_filter
+        graph, adjacency, embeddings, bound, index, embedding_filter, out_dtype=dtype
     )
 
 
@@ -418,17 +535,24 @@ def expand_edge_level(
     executor: "PartExecutor | None" = None,
     workers: int = 1,
     tracer: "Tracer | None" = None,
+    use_kernels: bool = True,
 ) -> ExpansionStats:
     """Edge-induced analogue of :func:`expand_vertex_level`."""
-    eu, ev = index.endpoint_lists()
-    incident = index.incident_lists()
-    make_part = partial(_edge_part_task, eu, ev, incident, embedding_filter)
-    return _run_expansion(cse, parts, sink, executor, workers, make_part, tracer)
+    dtype = index.id_dtype
+    if embedding_filter is None and use_kernels and cse.block_decodable():
+        ctx = kernels.edge_kernel_context(index, out_dtype=dtype)
+        factory = _block_task_factory(cse, ctx, EdgeBlockTask)
+    else:
+        eu, ev = index.endpoint_lists()
+        incident = index.incident_lists()
+        make_part = partial(_edge_part_task, eu, ev, incident, embedding_filter, dtype)
+        factory = _scalar_task_factory(cse, make_part)
+    return _run_expansion(cse, parts, sink, executor, workers, factory, tracer, dtype)
 
 
-def _edge_part_task(eu, ev, incident, embedding_filter, embeddings, bound, index):
+def _edge_part_task(eu, ev, incident, embedding_filter, dtype, embeddings, bound, index):
     return expand_edge_part(
-        eu, ev, incident, embeddings, bound, index, embedding_filter
+        eu, ev, incident, embeddings, bound, index, embedding_filter, out_dtype=dtype
     )
 
 

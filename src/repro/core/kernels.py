@@ -1,0 +1,412 @@
+"""Vectorized expansion kernels over the graph's CSR arrays.
+
+The exploration hot loop — expand every embedding of the CSE's top level
+by one vertex/edge under the Definition-2 canonical filter — used to run
+as per-embedding Python loops over ``frozenset`` adjacency
+(:func:`repro.core.explore.expand_vertex_part` and friends).  This module
+reimplements that loop as *block* operations: a part's embeddings arrive
+as one 2-D ``(rows, k)`` integer array (decoded straight from the CSE
+``off``/``vert`` arrays by :meth:`repro.core.cse.CSE.decode_block`), all
+candidates are generated with CSR gathers (``np.repeat`` +
+cumulative-sum index arithmetic), and every clause of the canonical
+filter becomes one boolean mask over the flat ``(row, candidate)`` pair
+arrays:
+
+* **min-vertex bound** — ``candidate > embedding[0]``;
+* **membership** — the candidate is not already in the embedding;
+* **first-neighbor** — the earliest embedding position adjacent to the
+  candidate;
+* **suffix order** — every embedding vertex after the first neighbor must
+  not exceed the candidate, checked against a per-row suffix-maximum
+  table.
+
+The load-bearing trick is one sort of packed ``(row, candidate, source
+column)`` keys per chunk: group heads dedup the candidate pairs, the key
+order reproduces the scalar loops' ``sorted(candidate set)`` emission
+order, and each head's low bits carry the smallest source column — which
+*is* the canonical filter's first-neighbor (vertex kernel) or arrival
+position (edge kernel).  No binary searches, no ``np.unique`` (whose
+hash-based implementation in recent numpy is an order of magnitude
+slower than a plain sort at these sizes).  The kernels are
+*bit-identical* to the scalar reference (property-tested against it).
+The scalar path remains both the parity oracle and the fallback whenever
+a Python ``embedding_filter`` is installed or a CSE level is spilled.
+
+The :class:`VertexKernelContext` / :class:`EdgeKernelContext` bundles are
+plain picklable dataclasses so a :class:`repro.core.executor.ProcessExecutor`
+can ship the graph arrays to each worker once (via
+:func:`install_worker_context` in the pool initializer) instead of once
+per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.edge_index import EdgeIndex
+from ..graph.graph import Graph
+
+__all__ = [
+    "id_dtype",
+    "VertexKernelContext",
+    "EdgeKernelContext",
+    "vertex_kernel_context",
+    "edge_kernel_context",
+    "expand_vertex_block",
+    "expand_edge_block",
+    "install_worker_context",
+    "current_worker_context",
+]
+
+#: Rows processed per internal chunk: bounds the transient ``(pairs, k)``
+#: mask matrices no matter how large a part the planner cut.
+BLOCK_ROWS = 16_384
+
+_INT32_MAX = int(np.iinfo(np.int32).max)
+
+
+def id_dtype(count: int, boundary: int = _INT32_MAX) -> np.dtype:
+    """Narrowest dtype for ids in ``range(count)``.
+
+    ``boundary`` is the largest id count that still fits the narrow
+    dtype; tests lower it to exercise the widening path without building
+    a 2^31-entry graph.
+    """
+    return np.dtype(np.int32) if count <= boundary else np.dtype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Kernel contexts: the read-only array bundles the kernels gather from
+# ----------------------------------------------------------------------
+@dataclass
+class VertexKernelContext:
+    """Everything :func:`expand_vertex_block` needs, picklable."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_vertices: int
+    out_dtype: np.dtype
+
+    kind = "vertex"
+
+
+@dataclass
+class EdgeKernelContext:
+    """Everything :func:`expand_edge_block` needs, picklable."""
+
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+    #: Vertex → incident-edge CSR pair.
+    inc_indptr: np.ndarray
+    incident: np.ndarray
+    num_vertices: int
+    num_edges: int
+    out_dtype: np.dtype
+
+    kind = "edge"
+
+
+def vertex_kernel_context(
+    graph: Graph, out_dtype: np.dtype | None = None
+) -> VertexKernelContext:
+    """Build the vertex kernel's array bundle from a graph."""
+    return VertexKernelContext(
+        indptr=graph.indptr,
+        indices=graph.indices,
+        num_vertices=graph.num_vertices,
+        out_dtype=out_dtype if out_dtype is not None else graph.id_dtype,
+    )
+
+
+def edge_kernel_context(
+    index: EdgeIndex, out_dtype: np.dtype | None = None
+) -> EdgeKernelContext:
+    """Build the edge kernel's array bundle from an edge index."""
+    inc_indptr, incident = index.incident_arrays()
+    return EdgeKernelContext(
+        edge_u=index.edge_u,
+        edge_v=index.edge_v,
+        inc_indptr=inc_indptr,
+        incident=incident,
+        num_vertices=index.graph.num_vertices,
+        num_edges=index.num_edges,
+        out_dtype=out_dtype if out_dtype is not None else index.id_dtype,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared gather helpers
+# ----------------------------------------------------------------------
+def _csr_gather(
+    indptr: np.ndarray, data: np.ndarray, keys: np.ndarray, owners: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``data[indptr[key]:indptr[key+1]]`` for every key.
+
+    Returns ``(values, owner_per_value)`` where ``owners[i]`` tags every
+    value gathered for ``keys[i]``.  This is the ``np.repeat`` +
+    cumulative-offset trick that turns per-vertex adjacency walks into
+    one flat gather.
+    """
+    starts = indptr[keys]
+    lengths = indptr[keys + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return (
+            np.zeros(0, dtype=data.dtype),
+            np.zeros(0, dtype=owners.dtype),
+        )
+    cum = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=cum[1:])
+    flat = np.arange(total, dtype=np.int64)
+    flat += np.repeat(starts - cum[:-1], lengths)
+    return data[flat], np.repeat(owners, lengths)
+
+
+def _suffix_max(block: np.ndarray) -> np.ndarray:
+    """``out[r, j] = max(block[r, j:])`` with an extra all ``-1`` column.
+
+    ``out[r, f + 1]`` is then the largest embedding entry *after*
+    position ``f`` — the suffix-order clause compares it to the
+    candidate in one vectorized step.
+    """
+    rows, k = block.shape
+    out = np.full((rows, k + 1), -1, dtype=np.int64)
+    for j in range(k - 1, -1, -1):
+        np.maximum(block[:, j], out[:, j + 1], out=out[:, j])
+    return out
+
+
+def _mask_members(
+    keep: np.ndarray, pair_ids: np.ndarray, block: np.ndarray, modulus: int
+) -> None:
+    """Clear ``keep`` where the candidate is already in its embedding.
+
+    ``pair_ids`` is the *sorted* packed ``row * modulus + candidate``
+    array; the embedding ids re-packed the same way are a much smaller
+    set, so searching them into the candidates is ``rows * k`` binary
+    searches instead of a ``(pairs, k)`` comparison matrix.
+    """
+    rows_total, k = block.shape
+    emb_keys = np.arange(rows_total, dtype=np.int64)[:, None] * modulus + block
+    pos = np.searchsorted(pair_ids, emb_keys.reshape(-1))
+    np.minimum(pos, pair_ids.shape[0] - 1, out=pos)
+    hits = pos[pair_ids[pos] == emb_keys.reshape(-1)]
+    keep[hits] = False
+
+
+# ----------------------------------------------------------------------
+# Vertex-induced kernel
+# ----------------------------------------------------------------------
+def expand_vertex_block(
+    ctx: VertexKernelContext, block: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Expand a block of same-length embeddings by one vertex.
+
+    ``block`` is ``(rows, k)``: row ``r`` is the vertex tuple of one
+    embedding.  Returns ``(vert, counts, candidates_examined)`` matching
+    :func:`repro.core.explore.expand_vertex_part` exactly: ``vert`` holds
+    the emitted last vertices in embedding order (candidates ascending
+    within each row), ``counts[r]`` how many row ``r`` emitted, and
+    ``candidates_examined`` the deduped candidate total before filtering.
+    """
+    block = np.ascontiguousarray(block)
+    if block.ndim != 2:
+        raise ValueError(f"block must be 2-D (rows, k), got shape {block.shape}")
+    rows_total = block.shape[0]
+    counts = np.zeros(rows_total, dtype=np.int64)
+    pieces: list[np.ndarray] = []
+    examined = 0
+    for start in range(0, rows_total, BLOCK_ROWS):
+        chunk = block[start : start + BLOCK_ROWS]
+        vert, chunk_counts, chunk_examined = _expand_vertex_chunk(ctx, chunk)
+        counts[start : start + chunk.shape[0]] = chunk_counts
+        pieces.append(vert)
+        examined += chunk_examined
+    if pieces:
+        vert = np.concatenate(pieces)
+    else:
+        vert = np.zeros(0, dtype=ctx.out_dtype)
+    return vert.astype(ctx.out_dtype, copy=False), counts, examined
+
+
+def _expand_vertex_chunk(
+    ctx: VertexKernelContext, block: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    rows_total, k = block.shape
+    empty = np.zeros(0, dtype=ctx.out_dtype)
+    if rows_total == 0 or k == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+    n = ctx.num_vertices
+    block64 = block.astype(np.int64, copy=False)
+
+    # Candidate generation: gather the neighbor list of every embedding
+    # vertex, tagging each gathered neighbor with the flat (row, column)
+    # position it came from.
+    flat_verts = block64.reshape(-1)
+    positions = np.arange(rows_total * k, dtype=np.int64)
+    neigh, owner = _csr_gather(ctx.indptr, ctx.indices, flat_verts, positions)
+    if neigh.shape[0] == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+
+    # One sort does three jobs at once.  Keys group by (row, candidate)
+    # with the source column as the low bits, so sorting (a) dedups the
+    # per-row candidate set, (b) orders candidates ascending within each
+    # row — the scalar loop's `sorted(set)` emission order — and (c)
+    # leaves each group's *head* carrying the smallest source column,
+    # which is exactly the canonical filter's first-neighbor index.
+    row = owner // k
+    col = owner - row * k
+    keys = (row * n + neigh) * k + col
+    keys.sort()
+    pair_ids = keys // k
+    head = np.empty(keys.shape, dtype=bool)
+    head[0] = True
+    np.not_equal(pair_ids[1:], pair_ids[:-1], out=head[1:])
+    first_keys = keys[head]
+    pair_ids = pair_ids[head]
+    rows = pair_ids // n
+    cands = pair_ids - rows * n
+    first_nb = first_keys - pair_ids * k
+    examined = int(rows.shape[0])
+
+    # Min-vertex bound.  (The scalar filter's no-neighbor rejection can
+    # never fire here: every candidate came off some embedding vertex's
+    # neighbor list.)
+    keep = cands > block64[rows, 0]
+    # Membership clause, inverted: rather than comparing every candidate
+    # against all k embedding columns, binary-search the (far fewer)
+    # embedding keys into the sorted candidate pair ids and knock out the
+    # hits.
+    _mask_members(keep, pair_ids, block64, n)
+    # Suffix-order clause: max(embedding[first_nb + 1:]) <= candidate.
+    sfx = _suffix_max(block64)
+    tail_max = sfx[rows, first_nb + 1]
+    np.logical_and(keep, tail_max <= cands, out=keep)
+
+    counts = np.bincount(rows[keep], minlength=rows_total)
+    return cands[keep].astype(ctx.out_dtype), counts, examined
+
+
+# ----------------------------------------------------------------------
+# Edge-induced kernel
+# ----------------------------------------------------------------------
+def expand_edge_block(
+    ctx: EdgeKernelContext, block: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Edge-induced analogue of :func:`expand_vertex_block`.
+
+    ``block`` rows hold edge ids; candidates are the edges incident to
+    any endpoint of the embedding, filtered by the edge-canonicality rule
+    (min-edge-id bound, membership, first-reachable arrival position,
+    suffix order).  Output contract matches
+    :func:`repro.core.explore.expand_edge_part` exactly.
+    """
+    block = np.ascontiguousarray(block)
+    if block.ndim != 2:
+        raise ValueError(f"block must be 2-D (rows, k), got shape {block.shape}")
+    rows_total = block.shape[0]
+    counts = np.zeros(rows_total, dtype=np.int64)
+    pieces: list[np.ndarray] = []
+    examined = 0
+    for start in range(0, rows_total, BLOCK_ROWS):
+        chunk = block[start : start + BLOCK_ROWS]
+        vert, chunk_counts, chunk_examined = _expand_edge_chunk(ctx, chunk)
+        counts[start : start + chunk.shape[0]] = chunk_counts
+        pieces.append(vert)
+        examined += chunk_examined
+    if pieces:
+        vert = np.concatenate(pieces)
+    else:
+        vert = np.zeros(0, dtype=ctx.out_dtype)
+    return vert.astype(ctx.out_dtype, copy=False), counts, examined
+
+
+def _expand_edge_chunk(
+    ctx: EdgeKernelContext, block: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    rows_total, k = block.shape
+    empty = np.zeros(0, dtype=ctx.out_dtype)
+    if rows_total == 0 or k == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+    block64 = block.astype(np.int64, copy=False)
+    m = ctx.num_edges
+
+    # Endpoint matrix: columns (2j, 2j + 1) are the endpoints of the j-th
+    # embedding edge, so column // 2 is the arrival position the
+    # edge-canonicality rule ranks by.
+    ends = np.empty((rows_total, 2 * k), dtype=np.int64)
+    ends[:, 0::2] = ctx.edge_u[block64]
+    ends[:, 1::2] = ctx.edge_v[block64]
+
+    # Candidate generation: the incident-edge list of every endpoint
+    # occurrence, tagged with the flat (row, column) position it came
+    # from.
+    width = 2 * k
+    positions = np.arange(rows_total * width, dtype=np.int64)
+    inc, owner = _csr_gather(ctx.inc_indptr, ctx.incident, ends.reshape(-1), positions)
+    if inc.shape[0] == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+
+    # Same one-sort trick as the vertex kernel: keys group by (row,
+    # candidate edge) with the source column as the low bits, so each
+    # group's head carries the earliest endpoint occurrence — and since
+    # column // 2 is monotone in the column, the head's position is the
+    # candidate's minimum arrival `first`.
+    row = owner // width
+    col = owner - row * width
+    keys = (row * m + inc) * width + col
+    keys.sort()
+    pair_ids = keys // width
+    head = np.empty(keys.shape, dtype=bool)
+    head[0] = True
+    np.not_equal(pair_ids[1:], pair_ids[:-1], out=head[1:])
+    first_keys = keys[head]
+    pair_ids = pair_ids[head]
+    rows = pair_ids // m
+    cands = pair_ids - rows * m
+    first = (first_keys - pair_ids * width) // 2
+    examined = int(rows.shape[0])
+
+    # Min-edge-id bound and membership clauses.  (Every candidate is
+    # incident to some embedding endpoint, so the scalar filter's
+    # unreachable-candidate rejection can never fire here.)
+    keep = cands > block64[rows, 0]
+    _mask_members(keep, pair_ids, block64, m)
+    # Suffix-order clause over edge ids.
+    sfx = _suffix_max(block64)
+    tail_max = sfx[rows, first + 1]
+    np.logical_and(keep, tail_max <= cands, out=keep)
+
+    counts = np.bincount(rows[keep], minlength=rows_total)
+    return cands[keep].astype(ctx.out_dtype), counts, examined
+
+
+# ----------------------------------------------------------------------
+# Per-process shared context (ProcessExecutor worker side)
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: "VertexKernelContext | EdgeKernelContext | None" = None
+
+
+def install_worker_context(ctx) -> None:
+    """Pool-initializer hook: stash the kernel context in this process.
+
+    :class:`~repro.core.executor.ProcessExecutor` passes the context once
+    per worker through the pool initializer; block tasks shipped to the
+    worker then look it up here instead of carrying the graph arrays in
+    every pickle.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = ctx
+
+
+def current_worker_context():
+    """The context installed by :func:`install_worker_context`."""
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError(
+            "no kernel context installed in this process; block tasks must "
+            "run under a ProcessExecutor pool initializer or carry a local "
+            "context"
+        )
+    return _WORKER_CONTEXT

@@ -131,7 +131,18 @@ class Planner:
         spill = False
         io_mode = "memory"
         if self.storage_mode != "memory":
-            sink = self.policy.sink_for_next_level(cse, predicted_entries)
+            # The emitted level stores ids of the exploration's id space:
+            # edge ids for edge-induced apps, vertex ids otherwise.  Its
+            # dtype drives both the sink's storage width and the
+            # bytes-per-entry the spill decision sizes with.
+            dtype = (
+                ctx.edge_index.id_dtype
+                if ctx.edge_index is not None
+                else self.graph.id_dtype
+            )
+            sink = self.policy.sink_for_next_level(
+                cse, predicted_entries, bytes_per_entry=dtype.itemsize, dtype=dtype
+            )
             spill = not isinstance(sink, InMemorySink)
             io_mode = self.policy.io_mode
         return LevelPlan(

@@ -42,6 +42,19 @@ class EdgeIndex:
     def num_edges(self) -> int:
         return self.edge_u.shape[0]
 
+    @property
+    def id_dtype(self) -> np.dtype:
+        """Narrowest integer dtype that holds every edge id (mirrors
+        :attr:`repro.graph.Graph.id_dtype` for edge-induced levels)."""
+        if self.num_edges <= np.iinfo(np.int32).max:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
+
+    def incident_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The vertex → incident-edge CSR pair ``(indptr, incident)`` —
+        the arrays the vectorized edge-expansion kernel gathers from."""
+        return self.indptr, self.incident
+
     def endpoints(self, edge_id: int) -> tuple[int, int]:
         """The ``(u, v)`` endpoints (``u < v``) of an edge id."""
         return int(self.edge_u[edge_id]), int(self.edge_v[edge_id])

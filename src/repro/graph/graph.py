@@ -50,6 +50,7 @@ class Graph:
         "_edge_v",
         "_edge_label_map",
         "_adjacency_sets",
+        "_adjacency_keys",
         "name",
     )
 
@@ -83,6 +84,7 @@ class Graph:
         self._edge_v: np.ndarray | None = None
         self._edge_label_map: dict[tuple[int, int], int] | None = None
         self._adjacency_sets: list[frozenset[int]] | None = None
+        self._adjacency_keys: np.ndarray | None = None
         if edge_labels is not None:
             edge_labels = np.ascontiguousarray(edge_labels, dtype=np.int32)
             if edge_labels.shape[0] != indices.shape[0] // 2:
@@ -126,6 +128,17 @@ class Graph:
         """Bytes held by the CSR arrays (the paper's graph footprint)."""
         return self.indptr.nbytes + self.indices.nbytes + self.labels.nbytes
 
+    @property
+    def id_dtype(self) -> np.dtype:
+        """Narrowest integer dtype that holds every vertex id.
+
+        Emitted CSE levels store ids in this dtype, so graphs past the
+        ``int32`` boundary widen to ``int64`` instead of overflowing.
+        """
+        if self.num_vertices <= np.iinfo(np.int32).max:
+            return np.dtype(np.int32)
+        return np.dtype(np.int64)
+
     # ------------------------------------------------------------------
     # Topology queries
     # ------------------------------------------------------------------
@@ -159,6 +172,23 @@ class Graph:
                 for v in range(self.num_vertices)
             ]
         return self._adjacency_sets
+
+    def adjacency_keys(self) -> np.ndarray:
+        """Packed sorted-array adjacency view: ``u * n + w`` per CSR entry.
+
+        Because ``indices`` is sorted within each vertex slice and slices
+        follow vertex order, the packed array is globally ascending — one
+        :func:`numpy.searchsorted` over packed ``u * n + w`` keys answers
+        arbitrarily large batches of edge-membership queries in
+        O(log 2|E|) each, without materialising adjacency sets.  Built
+        lazily and cached on the graph.
+        """
+        if self._adjacency_keys is None:
+            sources = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), np.diff(self.indptr)
+            )
+            self._adjacency_keys = sources * self.num_vertices + self.indices
+        return self._adjacency_keys
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``(u, v)`` exists (O(1) amortised

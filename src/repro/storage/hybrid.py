@@ -192,11 +192,20 @@ class StoragePolicy:
         )
 
     def sink_for_next_level(
-        self, cse: CSE, predicted_entries: int, bytes_per_entry: int = 4
+        self,
+        cse: CSE,
+        predicted_entries: int,
+        bytes_per_entry: int = 4,
+        dtype=None,
     ) -> LevelSink:
-        """Sink for the upcoming expansion, spilling when needed."""
+        """Sink for the upcoming expansion, spilling when needed.
+
+        ``dtype`` is the produced level's id storage width (the planner
+        derives it from the graph / edge-index size so ids past the
+        ``int32`` boundary widen instead of overflowing).
+        """
         if not self.should_spill(predicted_entries, bytes_per_entry):
-            return InMemorySink()
+            return InMemorySink(dtype=dtype)
         return self.make_sink(cse)
 
     def close(self) -> None:

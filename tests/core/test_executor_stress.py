@@ -1,11 +1,12 @@
 """Executor-parity stress sweep with span-tree shape checks.
 
 Random seeded graphs x every mining application x every executor
-(the plain serial baseline, the work-stealing simulated schedule, and
-the real thread pool): the pattern maps must be byte-identical and the
-traces must have identical span-tree *shapes* — same event multiset of
-(kind, name, parent, non-timing args) — even though wall times and
-worker attribution legitimately differ between executors.
+(the plain serial baseline, the work-stealing simulated schedule, the
+real thread pool, and the real spawn-based process pool): the pattern
+maps must be byte-identical and the traces must have identical span-tree
+*shapes* — same event multiset of (kind, name, parent, non-timing args)
+— even though wall times and worker attribution legitimately differ
+between executors.
 """
 
 import pytest
@@ -18,7 +19,12 @@ from repro import (
     Pattern,
 )
 from repro.apps import PatternMatching, VertexInducedFSM
-from repro.core.executor import SerialExecutor, SimulatedSchedule, ThreadedExecutor
+from repro.core.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    SimulatedSchedule,
+    ThreadedExecutor,
+)
 from repro.obs import Tracer, span_tree_shape
 
 from tests.conftest import random_labeled_graph
@@ -37,15 +43,20 @@ EXECUTORS = {
     "serial": lambda: SerialExecutor(),
     "simulated": lambda: SimulatedSchedule(),
     "threads": lambda: ThreadedExecutor(max_workers=4),
+    "processes": lambda: ProcessExecutor(max_workers=2),
 }
 
 
 def _run(graph, make_app, make_executor):
     tracer = Tracer()
-    with KaleidoEngine(
-        graph, workers=4, executor=make_executor(), tracer=tracer
-    ) as engine:
-        result = engine.run(make_app())
+    executor = make_executor()
+    try:
+        with KaleidoEngine(
+            graph, workers=4, executor=executor, tracer=tracer
+        ) as engine:
+            result = engine.run(make_app())
+    finally:
+        executor.close()
     assert tracer.open_spans() == []
     return result, span_tree_shape(tracer.events)
 

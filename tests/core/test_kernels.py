@@ -1,0 +1,244 @@
+"""Unit tests for the vectorized expansion kernels.
+
+Every kernel output is checked against the scalar per-part reference
+(:func:`repro.core.explore.expand_vertex_part` / ``expand_edge_part``) —
+the kernels' contract is *bit-identical* emission, not just equal counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.cse import CSE, InMemoryLevel
+from repro.core.explore import (
+    EdgeBlockTask,
+    InMemorySink,
+    VertexBlockTask,
+    expand_edge_level,
+    expand_edge_part,
+    expand_vertex_level,
+    expand_vertex_part,
+)
+from repro.graph.edge_index import EdgeIndex
+
+from tests.conftest import random_labeled_graph
+
+
+def _vertex_blocks(graph, depth):
+    """Build a CSE of `depth` levels via the scalar path, returning the
+    decoded top-level block at each step."""
+    cse = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    blocks = [cse.decode_block(0, cse.size())]
+    for _ in range(depth):
+        expand_vertex_level(graph, cse, use_kernels=False)
+        blocks.append(cse.decode_block(0, cse.size()))
+    return blocks
+
+
+def _scalar_vertex(graph, block):
+    embeddings = [tuple(int(x) for x in row) for row in block]
+    return expand_vertex_part(
+        graph, graph.adjacency_sets(), embeddings, (0, len(embeddings)), 0
+    )
+
+
+def _scalar_edge(index, block):
+    eu, ev = index.endpoint_lists()
+    incident = index.incident_lists()
+    embeddings = [tuple(int(x) for x in row) for row in block]
+    return expand_edge_part(eu, ev, incident, embeddings, (0, len(embeddings)), 0)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 42])
+@pytest.mark.parametrize("depth", [0, 1, 2])
+def test_vertex_kernel_matches_scalar(seed, depth):
+    graph = random_labeled_graph(25, 60, 3, seed=seed)
+    block = _vertex_blocks(graph, depth)[depth]
+    ctx = kernels.vertex_kernel_context(graph)
+    vert, counts, examined = kernels.expand_vertex_block(ctx, block)
+    ref = _scalar_vertex(graph, block)
+    np.testing.assert_array_equal(vert, ref.vert)
+    np.testing.assert_array_equal(counts, ref.counts)
+    assert examined == ref.candidates_examined
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+@pytest.mark.parametrize("depth", [0, 1])
+def test_edge_kernel_matches_scalar(seed, depth):
+    graph = random_labeled_graph(20, 45, 3, seed=seed)
+    index = EdgeIndex(graph)
+    cse = CSE(np.arange(index.num_edges, dtype=np.int32))
+    for _ in range(depth):
+        expand_edge_level(graph, index, cse, use_kernels=False)
+    block = cse.decode_block(0, cse.size())
+    ctx = kernels.edge_kernel_context(index)
+    vert, counts, examined = kernels.expand_edge_block(ctx, block)
+    ref = _scalar_edge(index, block)
+    np.testing.assert_array_equal(vert, ref.vert)
+    np.testing.assert_array_equal(counts, ref.counts)
+    assert examined == ref.candidates_examined
+
+
+def test_level_expansion_kernel_vs_scalar_paths():
+    """The two expand_vertex_level paths build identical CSE levels."""
+    graph = random_labeled_graph(25, 60, 3, seed=9)
+    cse_fast = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    cse_ref = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    for _ in range(2):
+        fast = expand_vertex_level(graph, cse_fast)
+        ref = expand_vertex_level(graph, cse_ref, use_kernels=False)
+        assert fast.emitted == ref.emitted
+        assert fast.candidates_examined == ref.candidates_examined
+        assert fast.part_emitted == ref.part_emitted
+        np.testing.assert_array_equal(
+            cse_fast.top.vert_array(), cse_ref.top.vert_array()
+        )
+        np.testing.assert_array_equal(
+            cse_fast.top.off_array(), cse_ref.top.off_array()
+        )
+
+
+def test_kernel_chunking_matches_unchunked(monkeypatch):
+    """BLOCK_ROWS-internal chunking must not change output."""
+    graph = random_labeled_graph(25, 60, 3, seed=5)
+    block = _vertex_blocks(graph, 1)[1]
+    ctx = kernels.vertex_kernel_context(graph)
+    whole = kernels.expand_vertex_block(ctx, block)
+    monkeypatch.setattr(kernels, "BLOCK_ROWS", 3)
+    chunked = kernels.expand_vertex_block(ctx, block)
+    np.testing.assert_array_equal(whole[0], chunked[0])
+    np.testing.assert_array_equal(whole[1], chunked[1])
+    assert whole[2] == chunked[2]
+
+
+def test_empty_and_edgeless_blocks():
+    graph = random_labeled_graph(10, 0, 2, seed=1)
+    ctx = kernels.vertex_kernel_context(graph)
+    vert, counts, examined = kernels.expand_vertex_block(
+        ctx, np.zeros((0, 2), dtype=np.int64)
+    )
+    assert vert.shape == (0,) and counts.shape == (0,) and examined == 0
+    # Vertices with no neighbors produce no candidates at all.
+    vert, counts, examined = kernels.expand_vertex_block(
+        ctx, np.arange(10, dtype=np.int64).reshape(-1, 1)
+    )
+    assert vert.shape == (0,) and examined == 0
+    np.testing.assert_array_equal(counts, np.zeros(10, dtype=np.int64))
+
+
+def test_block_task_runs_without_local_context_via_worker_global():
+    graph = random_labeled_graph(15, 30, 2, seed=2)
+    cse = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    ctx = kernels.vertex_kernel_context(graph)
+    block = cse.decode_block(0, cse.size())
+    task = VertexBlockTask(ctx, block, (0, cse.size()), 0)
+    direct = task()
+
+    import pickle
+
+    shipped = pickle.loads(pickle.dumps(task))
+    assert shipped.shared_context is None
+    with pytest.raises(RuntimeError):
+        shipped()
+    old = kernels._WORKER_CONTEXT
+    try:
+        kernels.install_worker_context(ctx)
+        via_global = shipped()
+    finally:
+        kernels._WORKER_CONTEXT = old
+    np.testing.assert_array_equal(direct.vert, via_global.vert)
+    np.testing.assert_array_equal(direct.counts, via_global.counts)
+    assert direct.candidates_examined == via_global.candidates_examined
+
+
+# ----------------------------------------------------------------------
+# dtype widening (satellite: emitted-id dtype follows the id space)
+# ----------------------------------------------------------------------
+def test_id_dtype_boundary():
+    assert kernels.id_dtype(100) == np.dtype(np.int32)
+    assert kernels.id_dtype(np.iinfo(np.int32).max) == np.dtype(np.int32)
+    assert kernels.id_dtype(np.iinfo(np.int32).max + 1) == np.dtype(np.int64)
+    # Forced-small boundary: the regression knob for testing widening
+    # without a 2^31-vertex graph.
+    assert kernels.id_dtype(100, boundary=50) == np.dtype(np.int64)
+    assert kernels.id_dtype(50, boundary=50) == np.dtype(np.int32)
+
+
+def test_graph_and_index_id_dtype():
+    graph = random_labeled_graph(20, 40, 2, seed=3)
+    assert graph.id_dtype == np.dtype(np.int32)
+    assert EdgeIndex(graph).id_dtype == np.dtype(np.int32)
+
+
+def test_sink_and_kernel_respect_forced_wide_dtype():
+    """Regression: with a forced int64 id dtype, the emitted level, the
+    sink's empty array, and the kernel outputs are all int64 end to end."""
+    graph = random_labeled_graph(20, 45, 3, seed=8)
+    cse = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    wide = np.dtype(np.int64)
+
+    ctx = kernels.vertex_kernel_context(graph, out_dtype=wide)
+    block = cse.decode_block(0, cse.size())
+    vert, _, _ = kernels.expand_vertex_block(ctx, block)
+    assert vert.dtype == wide
+
+    sink = InMemorySink(dtype=wide)
+    sink.write_part(vert, index=0)
+    # A level whose off says everything belongs to position 0.
+    counts = np.zeros(cse.size(), dtype=np.int64)
+    counts[0] = vert.shape[0]
+    off = np.zeros(cse.size() + 1, dtype=np.int64)
+    np.cumsum(counts, out=off[1:])
+    level = sink.finish(off)
+    assert level.vert_array().dtype == wide
+
+    empty = InMemorySink(dtype=wide).finish(np.zeros(1, dtype=np.int64))
+    assert empty.vert_array().dtype == wide
+    assert empty.vert_array().shape == (0,)
+
+
+def test_in_memory_level_preserves_dtype_through_filter():
+    vert = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+    off = np.array([0, 2, 5], dtype=np.int64)
+    level = InMemoryLevel(vert, off, dtype=np.int64)
+    assert level.vert_array().dtype == np.dtype(np.int64)
+    cse = CSE(np.array([0, 1], dtype=np.int32))
+    cse.append_level(level)
+    cse.filter_top_level(np.array([True, False, True, True, False]))
+    assert cse.top.vert_array().dtype == np.dtype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Block decode
+# ----------------------------------------------------------------------
+def test_decode_block_matches_embedding_at():
+    graph = random_labeled_graph(18, 40, 3, seed=4)
+    cse = CSE(np.arange(graph.num_vertices, dtype=np.int32))
+    expand_vertex_level(graph, cse)
+    expand_vertex_level(graph, cse)
+    assert cse.block_decodable()
+    block = cse.decode_block(2, min(9, cse.size()))
+    for i, pos in enumerate(range(2, min(9, cse.size()))):
+        assert tuple(int(x) for x in block[i]) == cse.embedding_at(2, pos)
+
+
+def test_decode_block_bounds_checks():
+    cse = CSE(np.arange(5, dtype=np.int32))
+    with pytest.raises(IndexError):
+        cse.decode_block(0, 6)
+    with pytest.raises(IndexError):
+        cse.decode_block(3, 2)
+    with pytest.raises(IndexError):
+        cse.decode_block(0, 1, level_idx=2)
+
+
+def test_edge_block_task_pickles_and_runs():
+    graph = random_labeled_graph(15, 32, 2, seed=6)
+    index = EdgeIndex(graph)
+    cse = CSE(np.arange(index.num_edges, dtype=np.int32))
+    ctx = kernels.edge_kernel_context(index)
+    task = EdgeBlockTask(ctx, cse.decode_block(0, cse.size()), (0, cse.size()), 0)
+    result = task()
+    ref = _scalar_edge(index, cse.decode_block(0, cse.size()))
+    np.testing.assert_array_equal(result.vert, ref.vert)
+    np.testing.assert_array_equal(result.counts, ref.counts)

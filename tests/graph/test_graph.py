@@ -110,3 +110,19 @@ def test_empty_graph():
     assert g.num_edges == 0
     assert g.average_degree == 0.0
     assert g.num_labels == 0
+
+
+def test_adjacency_keys_sorted_membership(paper_graph):
+    g = paper_graph
+    keys = g.adjacency_keys()
+    assert keys.shape == g.indices.shape
+    # Globally ascending, so searchsorted answers batched membership.
+    assert np.all(keys[1:] > keys[:-1])
+    n = g.num_vertices
+    for u in range(n):
+        for v in range(n):
+            packed = u * n + v
+            pos = np.searchsorted(keys, packed)
+            found = pos < keys.shape[0] and keys[pos] == packed
+            assert found == g.has_edge(u, v)
+    assert g.adjacency_keys() is keys  # cached

@@ -61,7 +61,7 @@ def test_engine_error_leaves_no_partial_result(tmp_path, paper_graph, monkeypatc
         return SpillingSink(FailingStore(store.directory, allow=0), **kwargs)
 
     monkeypatch.setattr(hybrid.StoragePolicy, "sink_for_next_level",
-                        lambda self, cse, predicted, bytes_per_entry=4:
+                        lambda self, cse, predicted, bytes_per_entry=4, dtype=None:
                         broken_sink(self._ensure_store(),
                                     synchronous=True, prefetch=False))
     engine = KaleidoEngine(

@@ -132,12 +132,14 @@ def bench_edge_kernel(graph, repeats: int) -> dict:
     }
 
 
-def bench_executors(graph, workers: int) -> dict:
+def bench_executors(graph, workers: int, sanitize: bool = False) -> dict:
     """Wall-clock of one 3-motif run per real executor, parity-checked."""
     record = {}
     maps = {}
     for spec in ("threads", "processes"):
-        with KaleidoEngine(graph, workers=workers, executor=spec) as engine:
+        with KaleidoEngine(
+            graph, workers=workers, executor=spec, sanitize=sanitize
+        ) as engine:
             result = engine.run(MotifCounting(3))
         record[spec] = {
             "wall_seconds": result.wall_seconds,
@@ -153,14 +155,14 @@ def bench_executors(graph, workers: int) -> dict:
     return record
 
 
-def bench_hasher(graph) -> dict:
+def bench_hasher(graph, sanitize: bool = False) -> dict:
     """Hit rate of the pattern-hash cache over an FSM run.
 
     FSM hashes the pattern of every embedding it scores (motif mappers
     cache patterns themselves and barely touch the hasher), so this is
     the workload the raw-structure front cache exists for.
     """
-    with KaleidoEngine(graph) as engine:
+    with KaleidoEngine(graph, sanitize=sanitize) as engine:
         engine.run(FrequentSubgraphMining(2, support=3))
         hasher = engine.hasher
         record = {
@@ -184,6 +186,11 @@ def main(argv=None) -> int:
         help="CI mode: tiny profiles, fewer repeats",
     )
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the engine benches under the part-purity sanitizer",
+    )
     args = parser.parse_args(argv)
 
     profile = "tiny" if args.quick else "bench"
@@ -221,7 +228,10 @@ def main(argv=None) -> int:
                 )
 
     smoke = datasets.load("citeseer", profile)
-    record["executors"] = bench_executors(smoke, workers=args.workers)
+    record["sanitize"] = args.sanitize
+    record["executors"] = bench_executors(
+        smoke, workers=args.workers, sanitize=args.sanitize
+    )
     print(
         f"  executors: threads "
         f"{record['executors']['threads']['wall_seconds']:.3f}s vs processes "
@@ -229,7 +239,7 @@ def main(argv=None) -> int:
         f"({record['executors']['processes_speedup_vs_threads']:.2f}x, "
         f"{record['executors']['cpu_count']} cores)"
     )
-    record["hasher"] = bench_hasher(smoke)
+    record["hasher"] = bench_hasher(smoke, sanitize=args.sanitize)
     print(
         f"     hasher: {record['hasher']['hits']} hits / "
         f"{record['hasher']['misses']} misses "

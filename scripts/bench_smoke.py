@@ -34,8 +34,12 @@ from repro.graph import datasets  # noqa: E402
 from repro.obs import Tracer, chrome_trace, worker_busy_fractions  # noqa: E402
 
 
-def run_one(graph, executor: str, tracer: Tracer | None = None) -> dict:
-    with KaleidoEngine(graph, workers=4, executor=executor, tracer=tracer) as engine:
+def run_one(
+    graph, executor: str, tracer: Tracer | None = None, sanitize: bool = False
+) -> dict:
+    with KaleidoEngine(
+        graph, workers=4, executor=executor, tracer=tracer, sanitize=sanitize
+    ) as engine:
         result = engine.run(MotifCounting(3))
     record = {
         "executor": result.extra["executor"],
@@ -75,10 +79,10 @@ class _SimulatedCrash(BaseException):
     pass
 
 
-def run_resume_smoke(graph) -> dict:
+def run_resume_smoke(graph, sanitize: bool = False) -> dict:
     """Crash a 4-motif run after its first checkpoint, resume, and verify
     the resumed pattern map matches an uninterrupted run."""
-    with KaleidoEngine(graph) as engine:
+    with KaleidoEngine(graph, sanitize=sanitize) as engine:
         straight = engine.run(MotifCounting(4))
 
     with tempfile.TemporaryDirectory(prefix="kaleido-resume-smoke-") as ckpt:
@@ -93,7 +97,7 @@ def run_resume_smoke(graph) -> dict:
             raise RuntimeError("simulated crash did not fire")
         except _SimulatedCrash:
             pass
-        with KaleidoEngine(graph, checkpoint_dir=ckpt) as engine:
+        with KaleidoEngine(graph, checkpoint_dir=ckpt, sanitize=sanitize) as engine:
             resumed = engine.run(MotifCounting(4), resume=True)
 
     if resumed.pattern_map != straight.pattern_map:
@@ -109,11 +113,21 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_pipeline.json")
     parser.add_argument("--dataset", default="citeseer")
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the part-purity sanitizer (race check rides along)",
+    )
     args = parser.parse_args(argv)
 
     graph = datasets.load(args.dataset, "tiny")
     runs = [
-        run_one(graph, executor, tracer=Tracer() if executor == "serial" else None)
+        run_one(
+            graph,
+            executor,
+            tracer=Tracer() if executor == "serial" else None,
+            sanitize=args.sanitize,
+        )
         for executor in EXECUTOR_CHOICES
     ]
 
@@ -124,10 +138,11 @@ def main(argv=None) -> int:
             print(f"  {run['executor']}: {run['pattern_counts']}", file=sys.stderr)
         return 1
 
-    resume = run_resume_smoke(graph)
+    resume = run_resume_smoke(graph, sanitize=args.sanitize)
     record = {
         "benchmark": "pipeline_smoke",
         "workload": {"app": "motif", "k": 3, "dataset": args.dataset, "profile": "tiny"},
+        "sanitize": args.sanitize,
         "runs": runs,
         "resume_smoke": resume,
     }

@@ -1,0 +1,30 @@
+"""Invariant lint suite and runtime sanitizers.
+
+Static side (``python -m repro.analysis`` / ``repro lint``): AST rules
+R001-R005 that machine-check the engine contracts established in
+PRs 1-4 — part purity, determinism, tracer guarding, id-dtype
+discipline and the storage error taxonomy.  Runtime side:
+:class:`PartPuritySanitizer`, a race detector for shared application
+state that static analysis cannot see (enabled with the engine/CLI
+``--sanitize`` flag).
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, suppressed_lines
+from .linter import lint_file, lint_paths, lint_source
+from .rules import RULES, Rule, rule_ids
+from .sanitizer import AttributeWrite, PartPuritySanitizer
+
+__all__ = [
+    "AttributeWrite",
+    "Diagnostic",
+    "PartPuritySanitizer",
+    "RULES",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_ids",
+    "suppressed_lines",
+]

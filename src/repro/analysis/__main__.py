@@ -1,0 +1,64 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .linter import lint_paths
+from .rules import RULES
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant lint suite: machine-check the engine's "
+        "concurrency and determinism contracts (rules R001-R005).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (also bypasses module "
+        "scoping), e.g. --select R001,R003",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.id}  {rule.title}  [{scope}]")
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        diagnostics = lint_paths(args.paths, select=select)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        noun = "violation" if len(diagnostics) == 1 else "violations"
+        print(f"found {len(diagnostics)} {noun}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Diagnostics and suppression handling for the invariant lint suite.
+
+A :class:`Diagnostic` is one rule violation at one source location.  Any
+diagnostic can be silenced with an explicit suppression comment naming
+the rule::
+
+    self._phash_cache[key] = phash  # repro: ignore[R001] -- benign memo race
+
+    # repro: ignore[R004] -- boundary constant, not an id array
+    _INT32_MAX = int(np.iinfo(np.int32).max)
+
+A suppression on a *code* line silences that line; a suppression on a
+line of its own silences the next line.  Several rules may be listed:
+``# repro: ignore[R001,R004]``.  Suppressions are deliberately loud —
+they are grep-able, name the exact rule, and leave room for a rationale
+after the closing bracket.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "suppressed_lines"]
+
+#: Rule id of files that fail to parse (always reported, never scoped).
+PARSE_RULE = "E999"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation: where it is and what contract it breaks."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    A trailing comment suppresses its own line; a comment that is the
+    whole line suppresses the line after it.
+    """
+    suppressions: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        target = lineno + 1 if text[: match.start()].strip() == "" else lineno
+        suppressions.setdefault(target, set()).update(rules)
+    return suppressions

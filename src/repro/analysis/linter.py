@@ -1,0 +1,114 @@
+"""Driver for the invariant lint suite.
+
+Parses each Python file once, builds a parent map for dominance queries,
+scopes the rule set by the file's position inside the ``repro`` package,
+runs the rules and filters the resulting diagnostics through the
+``# repro: ignore[RULE]`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .diagnostics import PARSE_RULE, Diagnostic, suppressed_lines
+from .rules import RULES, Rule
+
+__all__ = ["lint_source", "lint_file", "lint_paths"]
+
+
+def _parent_map(tree: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _rel_module(path: str) -> str | None:
+    """Path relative to the ``repro`` package root, or ``None``.
+
+    ``src/repro/core/engine.py`` -> ``core/engine.py``.  Files outside a
+    ``repro`` package (tests, fixtures, scripts) return ``None``, which
+    applies every rule — fixture tests then narrow with ``select``.
+    """
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return None
+
+
+def _select_rules(select: Sequence[str] | None) -> tuple[tuple[Rule, ...], bool]:
+    """Resolve a ``select`` list to rule objects.
+
+    An explicit selection also bypasses module scoping: asking for a rule
+    by id means "run it here", wherever *here* is.
+    """
+    if select is None:
+        return RULES, False
+    wanted = set(select)
+    unknown = wanted - {rule.id for rule in RULES}
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    return tuple(rule for rule in RULES if rule.id in wanted), True
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Sequence[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one module's source text."""
+    rules, bypass_scope = _select_rules(select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule=PARSE_RULE,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    parents = _parent_map(tree)
+    rel = _rel_module(path)
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        if bypass_scope or rule.applies(rel):
+            diagnostics.extend(rule.check(tree, parents, path))
+    suppressions = suppressed_lines(source)
+    kept = [
+        diag
+        for diag in diagnostics
+        if diag.rule not in suppressions.get(diag.line, ())
+    ]
+    kept.sort(key=lambda diag: (diag.line, diag.col, diag.rule))
+    return kept
+
+
+def lint_file(path: str | Path, select: Sequence[str] | None = None) -> list[Diagnostic]:
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path), select=select)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+        else:
+            yield root
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Sequence[str] | None = None
+) -> list[Diagnostic]:
+    """Lint files and directories (recursing into ``*.py``)."""
+    diagnostics: list[Diagnostic] = []
+    for file_path in _iter_python_files(paths):
+        diagnostics.extend(lint_file(file_path, select=select))
+    return diagnostics

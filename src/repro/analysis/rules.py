@@ -1,0 +1,628 @@
+"""Project-specific static-analysis rules R001-R005.
+
+Each rule encodes one engine contract that earlier PRs established by
+review and that nothing previously machine-checked:
+
+========  ==============================================================
+R001      Part purity: ``MiningApplication`` subclasses must not write
+          ``self.*`` inside per-part hot methods (``map_embedding``,
+          ``embedding_filter``, ``start_part`` and anything they reach
+          through ``self``).  Concurrent executors run parts on pool
+          threads; shared-state mutation there is the exact bug class
+          the PR 1 review found in FSM.  Mutation belongs in the part
+          state returned by ``start_part`` and absorbed serially by
+          ``finish_part``.
+R002      Determinism: no wall-clock / entropy sources (``time.time``,
+          the global ``random`` state, ``os.urandom``, ``uuid.uuid1/4``,
+          ``datetime.now``) and no syntactic set-iteration-order hazards
+          in ``core/``, ``apps/`` and ``balance/``.  Clocks must be
+          injected (as ``obs.trace.Tracer`` does) and randomness must go
+          through a seeded generator.  ``time.perf_counter`` and
+          ``time.monotonic`` stay legal: they measure work, they do not
+          feed mined results.
+R003      Tracer guard: in hot-path modules every ``tracer.begin`` /
+          ``end`` / ``instant`` / ``complete`` call must be dominated by
+          an ``if tracer.enabled`` check.  The NULL_TRACER no-op costs
+          one attribute probe, but building the call's keyword arguments
+          does not go away — an unguarded probe taxes every iteration.
+R004      Dtype discipline: no hard-coded ``np.int32`` in the modules
+          where the id dtype must be threaded (kernels, planner, sinks,
+          spill and checkpoint storage).  A narrow literal is what
+          truncates ids past the 2^31 boundary; ``np.int64`` literals
+          stay legal because offsets/keys are always 64-bit and widening
+          cannot corrupt an id.  The selection point itself
+          (``id_dtype``) and ``np.iinfo`` boundary queries are exempt.
+R005      Error taxonomy: no bare ``except:`` and no swallowed
+          ``except Exception/BaseException`` in ``storage/``; catch-all
+          handlers must re-raise (a typed class from ``repro.errors``),
+          otherwise corruption and disk faults turn into silently wrong
+          results.
+========  ==============================================================
+
+Rules operate purely on the AST — nothing is imported or executed — and
+report precise ``file:line:col`` diagnostics that the suppression
+comments of :mod:`repro.analysis.diagnostics` can silence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Rule", "RULES", "rule_ids"]
+
+
+class Rule:
+    """One invariant check over a parsed module."""
+
+    id: str = ""
+    title: str = ""
+    #: Path prefixes (relative to the ``repro`` package root) the rule is
+    #: scoped to; an empty tuple means every module.
+    scope: tuple[str, ...] = ()
+
+    def applies(self, rel_module: str | None) -> bool:
+        """Whether the rule is in scope for ``rel_module``.
+
+        ``None`` (a file outside the package, e.g. a fixture) applies
+        every rule — explicit ``select`` lists drive those checks.
+        """
+        if rel_module is None or not self.scope:
+            return True
+        return any(
+            rel_module == prefix or rel_module.startswith(prefix)
+            for prefix in self.scope
+        )
+
+    def check(
+        self, tree: ast.Module, parents: dict[int, ast.AST], path: str
+    ) -> list[Diagnostic]:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def diagnostic(self, node: ast.AST, path: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def _terminal_name(node: ast.AST) -> str | None:
+    """The last dotted component of a Name/Attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The first dotted component of a Name/Attribute/Subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _self_rooted_targets(target: ast.AST) -> Iterable[ast.AST]:
+    """Yield assignment targets whose chain starts at ``self``."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _self_rooted_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _self_rooted_targets(target.value)
+    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+        if _root_name(target) == "self":
+            yield target
+
+
+def _first_self_attr(node: ast.AST) -> str:
+    """Best-effort attribute name for a ``self``-rooted chain."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and isinstance(child.value, ast.Name):
+            if child.value.id == "self":
+                return child.attr
+    return "<attribute>"
+
+
+def _contains_self_attribute(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Attribute)
+        and isinstance(child.value, ast.Name)
+        and child.value.id == "self"
+        for child in ast.walk(node)
+    )
+
+
+def _mentions_enabled(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Attribute) and child.attr == "enabled"
+        for child in ast.walk(node)
+    )
+
+
+def _ancestors(node: ast.AST, parents: dict[int, ast.AST]) -> Iterable[ast.AST]:
+    current = parents.get(id(node))
+    while current is not None:
+        yield current
+        current = parents.get(id(current))
+
+
+# ----------------------------------------------------------------------
+# R001 — part purity
+# ----------------------------------------------------------------------
+class PartPurityRule(Rule):
+    id = "R001"
+    title = "no shared-state writes in per-part hot methods"
+    scope = ()  # every MiningApplication subclass, wherever it lives
+
+    #: Hot entry points: called per part, possibly on pool threads.
+    HOT_ENTRY = ("map_embedding", "embedding_filter", "start_part")
+    #: Method names that mutate their receiver in place.
+    MUTATORS = frozenset(
+        {
+            "append",
+            "extend",
+            "insert",
+            "remove",
+            "pop",
+            "popitem",
+            "clear",
+            "add",
+            "discard",
+            "update",
+            "setdefault",
+            "sort",
+            "reverse",
+            "appendleft",
+            "extendleft",
+        }
+    )
+
+    def check(self, tree, parents, path):
+        diagnostics: list[Diagnostic] = []
+        classes = [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+        app_names = {"MiningApplication"}
+        changed = True
+        while changed:  # transitive: subclasses of in-file app subclasses
+            changed = False
+            for cls in classes:
+                if cls.name in app_names:
+                    continue
+                bases = {_terminal_name(base) for base in cls.bases}
+                if bases & app_names:
+                    app_names.add(cls.name)
+                    changed = True
+        for cls in classes:
+            if cls.name in app_names and cls.name != "MiningApplication":
+                diagnostics.extend(self._check_class(cls, path))
+        return diagnostics
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> list[Diagnostic]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        hot = {name for name in self.HOT_ENTRY if name in methods}
+        changed = True
+        while changed:  # close over self-method calls from hot methods
+            changed = False
+            for name in tuple(hot):
+                for node in ast.walk(methods[name]):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"
+                        and node.func.attr in methods
+                        and node.func.attr not in hot
+                    ):
+                        hot.add(node.func.attr)
+                        changed = True
+        diagnostics: list[Diagnostic] = []
+        for name in sorted(hot):
+            diagnostics.extend(self._check_method(cls, methods[name], path))
+        return diagnostics
+
+    def _check_method(
+        self, cls: ast.ClassDef, method: ast.FunctionDef, path: str
+    ) -> list[Diagnostic]:
+        where = (
+            f"in per-part hot method '{cls.name}.{method.name}'; per-part "
+            f"mutation belongs in the start_part/finish_part part state"
+        )
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.MUTATORS
+                and _contains_self_attribute(node.func.value)
+            ):
+                diagnostics.append(
+                    self.diagnostic(
+                        node,
+                        path,
+                        f"'.{node.func.attr}(...)' mutates shared application "
+                        f"state ('self.{_first_self_attr(node.func.value)}') "
+                        + where,
+                    )
+                )
+                continue
+            else:
+                continue
+            for target in targets:
+                for hit in _self_rooted_targets(target):
+                    diagnostics.append(
+                        self.diagnostic(
+                            hit,
+                            path,
+                            f"writes shared application state "
+                            f"('self.{_first_self_attr(hit)}') " + where,
+                        )
+                    )
+        return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R002 — determinism
+# ----------------------------------------------------------------------
+class DeterminismRule(Rule):
+    id = "R002"
+    title = "no wall clocks, global RNG or set-order hazards"
+    scope = ("core/", "apps/", "balance/")
+
+    #: module -> function names whose results depend on wall clock/entropy.
+    BANNED_CALLS = {
+        "time": {"time", "time_ns"},
+        "os": {"urandom"},
+        "uuid": {"uuid1", "uuid4"},
+    }
+    #: ``random.X(...)`` exemptions: explicitly seeded generator classes.
+    RANDOM_ALLOWED = {"Random"}
+    #: ``np.random.X(...)`` exemptions: seeded generator constructors.
+    NP_RANDOM_ALLOWED = {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+    _SET_CONSUMERS = {"list", "tuple", "iter", "enumerate"}
+
+    def check(self, tree, parents, path):
+        diagnostics: list[Diagnostic] = []
+        module_aliases, from_banned = self._imports(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                diagnostics.extend(
+                    self._check_call(node, module_aliases, from_banned, path)
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                diagnostics.extend(self._check_set_iter(node.iter, path))
+            elif isinstance(node, ast.comprehension):
+                diagnostics.extend(self._check_set_iter(node.iter, path))
+        return diagnostics
+
+    def _imports(self, tree):
+        module_aliases: dict[str, str] = {}
+        from_banned: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                banned = self.BANNED_CALLS.get(node.module, set())
+                for alias in node.names:
+                    if node.module == "random" and alias.name not in self.RANDOM_ALLOWED:
+                        from_banned[alias.asname or alias.name] = (
+                            "random",
+                            alias.name,
+                        )
+                    elif alias.name in banned:
+                        from_banned[alias.asname or alias.name] = (
+                            node.module,
+                            alias.name,
+                        )
+        return module_aliases, from_banned
+
+    def _check_call(self, node, module_aliases, from_banned, path):
+        func = node.func
+        hint = "inject a clock or a seeded generator instead"
+        if isinstance(func, ast.Name):
+            if func.id in from_banned:
+                module, original = from_banned[func.id]
+                return [
+                    self.diagnostic(
+                        node,
+                        path,
+                        f"call to '{module}.{original}' in a deterministic "
+                        f"module; {hint}",
+                    )
+                ]
+            if func.id in self._SET_CONSUMERS and len(node.args) == 1:
+                return self._check_set_iter(node.args[0], path)
+            return []
+        if not isinstance(func, ast.Attribute):
+            return []
+        receiver = func.value
+        # np.random.X(...) — global numpy RNG state.
+        if (
+            isinstance(receiver, ast.Attribute)
+            and receiver.attr == "random"
+            and isinstance(receiver.value, ast.Name)
+            and module_aliases.get(receiver.value.id) == "numpy"
+            and func.attr not in self.NP_RANDOM_ALLOWED
+        ):
+            return [
+                self.diagnostic(
+                    node,
+                    path,
+                    f"'numpy.random.{func.attr}' uses the global RNG state; "
+                    f"seed an explicit np.random.default_rng",
+                )
+            ]
+        if not isinstance(receiver, ast.Name):
+            return []
+        module = module_aliases.get(receiver.id)
+        if module == "random" and func.attr not in self.RANDOM_ALLOWED:
+            return [
+                self.diagnostic(
+                    node,
+                    path,
+                    f"'random.{func.attr}' uses the global RNG state; "
+                    f"seed an explicit random.Random",
+                )
+            ]
+        if module in self.BANNED_CALLS and func.attr in self.BANNED_CALLS[module]:
+            return [
+                self.diagnostic(
+                    node,
+                    path,
+                    f"wall-clock/entropy source '{module}.{func.attr}' in a "
+                    f"deterministic module; {hint}",
+                )
+            ]
+        if module == "datetime" or (
+            isinstance(receiver, ast.Name) and receiver.id in ("datetime", "date")
+        ):
+            if func.attr in ("now", "utcnow", "today"):
+                return [
+                    self.diagnostic(
+                        node,
+                        path,
+                        f"wall-clock source 'datetime.{func.attr}' in a "
+                        f"deterministic module; {hint}",
+                    )
+                ]
+        return []
+
+    def _check_set_iter(self, expr: ast.AST, path: str) -> list[Diagnostic]:
+        is_set = isinstance(expr, (ast.Set, ast.SetComp)) or (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        )
+        if not is_set:
+            return []
+        return [
+            self.diagnostic(
+                expr,
+                path,
+                "iterating a set in hash order is not deterministic across "
+                "processes; wrap it in sorted(...)",
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# R003 — tracer guard
+# ----------------------------------------------------------------------
+class TracerGuardRule(Rule):
+    id = "R003"
+    title = "tracer probes in hot paths must check tracer.enabled"
+    scope = ("core/kernels.py", "core/explore.py", "storage/")
+
+    PROBES = frozenset({"begin", "end", "instant", "complete"})
+
+    def check(self, tree, parents, path):
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.PROBES
+            ):
+                continue
+            receiver = _terminal_name(node.func.value)
+            if receiver is None or not receiver.lower().endswith("tracer"):
+                continue
+            if self._guarded(node, parents):
+                continue
+            diagnostics.append(
+                self.diagnostic(
+                    node,
+                    path,
+                    f"'{receiver}.{node.func.attr}(...)' in a hot-path module "
+                    f"without a dominating 'if {receiver}.enabled' guard "
+                    f"(argument construction is paid even under NULL_TRACER)",
+                )
+            )
+        return diagnostics
+
+    def _guarded(self, node: ast.Call, parents: dict[int, ast.AST]) -> bool:
+        enclosing_function: ast.AST | None = None
+        child: ast.AST = node
+        for ancestor in _ancestors(node, parents):
+            if isinstance(ancestor, ast.If) and _mentions_enabled(ancestor.test):
+                return True
+            if (
+                isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and enclosing_function is None
+            ):
+                enclosing_function = ancestor
+                if self._early_guard(ancestor, child):
+                    return True
+            if enclosing_function is None:
+                child = ancestor
+        return False
+
+    @staticmethod
+    def _early_guard(function: ast.AST, containing_stmt: ast.AST) -> bool:
+        """An ``if not tracer.enabled: return`` before the call's statement."""
+        body = getattr(function, "body", [])
+        for stmt in body:
+            if stmt is containing_stmt:
+                return False
+            if (
+                isinstance(stmt, ast.If)
+                and _mentions_enabled(stmt.test)
+                and stmt.body
+                and all(
+                    isinstance(s, (ast.Return, ast.Raise, ast.Continue))
+                    for s in stmt.body
+                )
+            ):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# R004 — dtype discipline
+# ----------------------------------------------------------------------
+class DtypeDisciplineRule(Rule):
+    id = "R004"
+    title = "no hard-coded narrow id dtypes where id_dtype is threaded"
+    scope = (
+        "core/kernels.py",
+        "core/plan.py",
+        "core/explore.py",
+        "storage/spill.py",
+        "storage/hybrid.py",
+        "storage/checkpoint.py",
+    )
+
+    def check(self, tree, parents, path):
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Attribute)
+                and node.attr == "int32"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("np", "numpy")
+            ):
+                continue
+            if self._exempt(node, parents):
+                continue
+            diagnostics.append(
+                self.diagnostic(
+                    node,
+                    path,
+                    "hard-coded np.int32 in an id-carrying module truncates "
+                    "ids past 2^31; thread the planner's id dtype "
+                    "(kernels.id_dtype / DEFAULT_ID_DTYPE) instead",
+                )
+            )
+        return diagnostics
+
+    @staticmethod
+    def _exempt(node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+        for ancestor in _ancestors(node, parents):
+            if (
+                isinstance(ancestor, ast.Call)
+                and isinstance(ancestor.func, ast.Attribute)
+                and ancestor.func.attr == "iinfo"
+            ):
+                return True  # boundary query, not an array dtype
+            if (
+                isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and ancestor.name == "id_dtype"
+            ):
+                return True  # the selection point itself
+        return False
+
+
+# ----------------------------------------------------------------------
+# R005 — error taxonomy
+# ----------------------------------------------------------------------
+class ErrorTaxonomyRule(Rule):
+    id = "R005"
+    title = "storage catch-alls must re-raise typed errors"
+    scope = ("storage/",)
+
+    CATCH_ALLS = frozenset({"Exception", "BaseException"})
+
+    def check(self, tree, parents, path):
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                diagnostics.append(
+                    self.diagnostic(
+                        node,
+                        path,
+                        "bare 'except:' in storage code; catch a specific "
+                        "error and re-raise a typed class from repro.errors",
+                    )
+                )
+                continue
+            caught = self._catch_all_name(node.type)
+            if caught is None:
+                continue
+            if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                continue
+            diagnostics.append(
+                self.diagnostic(
+                    node,
+                    path,
+                    f"'except {caught}' swallows the error; storage handlers "
+                    f"must re-raise a typed class from repro.errors",
+                )
+            )
+        return diagnostics
+
+    def _catch_all_name(self, type_node: ast.AST) -> str | None:
+        if isinstance(type_node, ast.Tuple):
+            for element in type_node.elts:
+                name = self._catch_all_name(element)
+                if name is not None:
+                    return name
+            return None
+        name = _terminal_name(type_node)
+        return name if name in self.CATCH_ALLS else None
+
+
+#: Registry, in rule-id order.
+RULES: tuple[Rule, ...] = (
+    PartPurityRule(),
+    DeterminismRule(),
+    TracerGuardRule(),
+    DtypeDisciplineRule(),
+    ErrorTaxonomyRule(),
+)
+
+
+def rule_ids() -> tuple[str, ...]:
+    return tuple(rule.id for rule in RULES)

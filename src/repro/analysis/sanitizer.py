@@ -1,0 +1,142 @@
+"""Runtime part-purity sanitizer: a race detector for shared app state.
+
+Static rule R001 sees direct ``self.x = ...`` writes in hot methods, but
+not writes routed through helpers, aliases or ``setattr``.  The
+:class:`PartPuritySanitizer` closes that gap at runtime: while the
+engine is inside a *hot phase* (the executor is running per-part tasks,
+possibly on pool threads), every attribute write on the wrapped
+application raises :class:`~repro.errors.PartPurityError` immediately —
+the write that would have been a silent cross-part race becomes a loud
+failure at its exact source line.
+
+Mechanics: instance attribute writes go through
+``type(obj).__setattr__``, so wrapping the app in a proxy object is not
+enough — the app's own methods would still see the real ``self``.
+Instead the sanitizer swaps ``app.__class__`` for a dynamically created
+subclass whose ``__setattr__`` / ``__delattr__`` consult the hot-phase
+flag.  Outside hot phases (``init``, ``finish_part``, ``reduce``,
+``prune`` — all coordinator-serial) writes pass straight through, so a
+well-behaved app runs byte-identical to an unsanitized run.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..errors import PartPurityError
+
+__all__ = ["AttributeWrite", "PartPuritySanitizer"]
+
+
+@dataclass(frozen=True)
+class AttributeWrite:
+    """One recorded attribute write on the sanitized application."""
+
+    attribute: str
+    kind: str  # "set" or "delete"
+    thread: str
+    hot: bool
+
+
+class PartPuritySanitizer:
+    """Context manager that polices attribute writes on one application.
+
+    Usage (what the engine does under ``sanitize=True``)::
+
+        sanitizer = PartPuritySanitizer(app)
+        with sanitizer:                  # swaps in the recording class
+            app.init(graph)              # cold: allowed, recorded
+            with sanitizer.hot_phase():  # executor.run(...) window
+                ...                      # any self.* write -> raises
+
+    The swap preserves ``__name__`` / ``__qualname__`` / ``__module__``
+    on the generated class so ``app.name`` (which reads
+    ``type(self).__name__``) is unchanged, and uses empty ``__slots__``
+    so the instance layout is untouched.
+    """
+
+    def __init__(self, app: object) -> None:
+        self.app = app
+        self.writes: list[AttributeWrite] = []
+        self._hot = threading.Event()
+        self._original_class: type | None = None
+        self._lock = threading.Lock()
+
+    # -- write recording ------------------------------------------------
+    def _record(self, attribute: str, kind: str) -> None:
+        hot = self._hot.is_set()
+        write = AttributeWrite(
+            attribute=attribute,
+            kind=kind,
+            thread=threading.current_thread().name,
+            hot=hot,
+        )
+        with self._lock:
+            self.writes.append(write)
+        if hot:
+            app_name = type(self.app).__name__
+            raise PartPurityError(
+                f"{app_name} wrote shared attribute '{attribute}' "
+                f"({kind}) during a per-part hot phase on thread "
+                f"'{write.thread}'; per-part mutation must live in the "
+                f"state returned by start_part and be absorbed in "
+                f"finish_part"
+            )
+
+    # -- class swap -----------------------------------------------------
+    def _make_recording_class(self, base: type) -> type:
+        sanitizer = self
+
+        def __setattr__(obj: object, name: str, value: object) -> None:
+            if name != "__class__":  # the sanitizer's own swap-back
+                sanitizer._record(name, "set")
+            super(recording, obj).__setattr__(name, value)
+
+        def __delattr__(obj: object, name: str) -> None:
+            sanitizer._record(name, "delete")
+            super(recording, obj).__delattr__(name)
+
+        recording = type(
+            base.__name__,
+            (base,),
+            {
+                "__setattr__": __setattr__,
+                "__delattr__": __delattr__,
+                "__slots__": (),
+                "__qualname__": base.__qualname__,
+                "__module__": base.__module__,
+                "_repro_sanitized_base_": base,
+            },
+        )
+        return recording
+
+    def __enter__(self) -> "PartPuritySanitizer":
+        if self._original_class is not None:
+            raise RuntimeError("sanitizer already active")
+        base = type(self.app)
+        self._original_class = base
+        self.app.__class__ = self._make_recording_class(base)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._original_class is not None:
+            self.app.__class__ = self._original_class
+            self._original_class = None
+        self._hot.clear()
+
+    # -- hot-phase window ----------------------------------------------
+    @contextmanager
+    def hot_phase(self):
+        """Mark the window where per-part tasks run (executor active)."""
+        self._hot.set()
+        try:
+            yield
+        finally:
+            self._hot.clear()
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def hot_writes(self) -> list[AttributeWrite]:
+        return [write for write in self.writes if write.hot]

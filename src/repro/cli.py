@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="bound on in-flight arrays in the background writing queue",
     )
+    mine.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the part-purity sanitizer: any shared-state write "
+        "during per-part execution raises PartPurityError",
+    )
     mine.add_argument("--json", action="store_true", help="machine-readable output")
     mine.add_argument(
         "--trace-out",
@@ -150,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
     approx.add_argument("-k", type=int, default=3)
     approx.add_argument("--samples", type=int, default=1000)
     approx.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint", help="run the invariant lint suite (rules R001-R005)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories (default: src)"
+    )
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule ids to run"
+    )
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -198,6 +215,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         tracer=tracer,
+        sanitize=args.sanitize,
     ) as engine:
         result = engine.run(_make_app(args), resume=args.resume)
     if args.trace_out:
@@ -293,10 +311,23 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as lint_main
+
+    argv = list(args.paths)
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("mine", "run"):
         return _cmd_mine(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "datasets":
         return _cmd_datasets(args)
     if args.command == "generate":

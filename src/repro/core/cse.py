@@ -89,6 +89,11 @@ class InMemoryLevel:
     def num_embeddings(self) -> int:
         return self.vert.shape[0]
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Id storage width of this level's vertex array."""
+        return self.vert.dtype
+
     def off_array(self) -> np.ndarray | None:
         return self.off
 

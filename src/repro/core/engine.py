@@ -26,6 +26,7 @@ from __future__ import annotations
 import logging
 import pickle
 import time
+from contextlib import nullcontext
 from functools import partial
 from itertools import islice
 from typing import Callable
@@ -153,6 +154,14 @@ class KaleidoEngine:
         ``hasher.*``, ``storage.*``, ``checkpoint.*``).  A fresh
         registry is created when not given; read it back from
         ``engine.metrics``.
+    sanitize:
+        Run the application under the part-purity sanitizer
+        (:class:`repro.analysis.PartPuritySanitizer`): while the
+        executor is running per-part tasks, any attribute write on the
+        application raises :class:`~repro.errors.PartPurityError` — a
+        race detector for shared mapper state under concurrent
+        executors.  A well-behaved app produces byte-identical results
+        with or without it.
     """
 
     def __init__(
@@ -176,6 +185,7 @@ class KaleidoEngine:
         on_checkpoint: Callable[[int, str], None] | None = None,
         tracer: "Tracer | NullTracer | None" = None,
         metrics: MetricsRegistry | None = None,
+        sanitize: bool = False,
     ) -> None:
         if storage_mode not in ("auto", "memory", "spill-last"):
             raise ValueError(f"unknown storage_mode {storage_mode!r}")
@@ -229,6 +239,9 @@ class KaleidoEngine:
             storage_mode=storage_mode,
             max_embeddings=max_embeddings,
         )
+        self.sanitize = sanitize
+        #: Active PartPuritySanitizer while a sanitized run is in flight.
+        self._sanitizer = None
         self.checkpoint_every = checkpoint_every
         self.on_checkpoint = on_checkpoint
         self._checkpoints: RunCheckpoint | None = None
@@ -253,10 +266,27 @@ class KaleidoEngine:
         and the run's measurements are folded into ``self.metrics``
         when it finishes.  Tracing never changes mined results.
         """
-        with self.tracer.span("run", app=app.name, graph=self.graph.name):
-            result = self._run(app, resume)
+        if self.sanitize:
+            from ..analysis.sanitizer import PartPuritySanitizer
+
+            sanitizer = PartPuritySanitizer(app)
+        else:
+            sanitizer = None
+        self._sanitizer = sanitizer
+        try:
+            with sanitizer if sanitizer is not None else nullcontext():
+                with self.tracer.span("run", app=app.name, graph=self.graph.name):
+                    result = self._run(app, resume)
+        finally:
+            self._sanitizer = None
         absorb_engine(self.metrics, self)
         return result
+
+    def _hot_phase(self):
+        """Sanitizer window around executor part runs (no-op otherwise)."""
+        if self._sanitizer is None:
+            return nullcontext()
+        return self._sanitizer.hot_phase()
 
     def _run(self, app: MiningApplication, resume: bool) -> MiningResult:
         started = time.perf_counter()
@@ -322,7 +352,7 @@ class KaleidoEngine:
                     try:
                         with self.tracer.span(
                             "execute", parts=plan.num_parts, spill=plan.spill
-                        ):
+                        ), self._hot_phase():
                             if app.induced == "vertex":
                                 stats = expand_vertex_level(
                                     self.graph,
@@ -443,6 +473,7 @@ class KaleidoEngine:
                 "checkpoint_failures": self._checkpoint_failures,
                 "io_retries": self._io_counter("retries"),
                 "io_failed_deletes": self._io_counter("failed_deletes"),
+                "sanitize": self.sanitize,
             },
         )
         return result
@@ -576,9 +607,10 @@ class KaleidoEngine:
                     embeddings = [emb for _, emb in islice(emb_iter, end - start)]
                     yield partial(aggregate_part, app, ctx, embeddings)
 
-            report = self.executor.run(
-                tasks(), workers=self.workers, tracer=self.tracer, phase="aggregate"
-            )
+            with self._hot_phase():
+                report = self.executor.run(
+                    tasks(), workers=self.workers, tracer=self.tracer, phase="aggregate"
+                )
             pmaps: list[PatternMap] = [pmap for pmap, _ in report.results]
             # Part states are absorbed serially in part-index order,
             # whatever order the executor completed the parts in.

@@ -142,7 +142,9 @@ class InMemorySink(LevelSink):
     def __init__(self, dtype: np.dtype | None = None) -> None:
         self._parts: list[tuple[int, np.ndarray]] = []
         self._seq = 0
-        self._dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.int32)
+        self._dtype = (
+            np.dtype(dtype) if dtype is not None else kernels.DEFAULT_ID_DTYPE
+        )
 
     def write_part(self, vert: np.ndarray, index: int | None = None) -> None:
         # Only unindexed writes consume the sequence counter, and explicit
@@ -255,7 +257,10 @@ def expand_vertex_part(
     return PartExpansion(
         index=index,
         bound=bound,
-        vert=np.asarray(buffer, dtype=out_dtype if out_dtype is not None else np.int32),
+        vert=np.asarray(
+            buffer,
+            dtype=out_dtype if out_dtype is not None else kernels.DEFAULT_ID_DTYPE,
+        ),
         counts=counts,
         emitted=len(buffer),
         candidates_examined=examined,
@@ -324,7 +329,10 @@ def expand_edge_part(
     return PartExpansion(
         index=index,
         bound=bound,
-        vert=np.asarray(buffer, dtype=out_dtype if out_dtype is not None else np.int32),
+        vert=np.asarray(
+            buffer,
+            dtype=out_dtype if out_dtype is not None else kernels.DEFAULT_ID_DTYPE,
+        ),
         counts=counts,
         emitted=len(buffer),
         candidates_examined=examined,

@@ -50,6 +50,7 @@ from ..graph.graph import Graph
 
 __all__ = [
     "id_dtype",
+    "DEFAULT_ID_DTYPE",
     "VertexKernelContext",
     "EdgeKernelContext",
     "vertex_kernel_context",
@@ -75,6 +76,13 @@ def id_dtype(count: int, boundary: int = _INT32_MAX) -> np.dtype:
     a 2^31-entry graph.
     """
     return np.dtype(np.int32) if count <= boundary else np.dtype(np.int64)
+
+
+#: The id dtype of an empty id space — the canonical fallback wherever a
+#: sink or level needs a dtype before any ids have been produced.  Using
+#: this instead of a hard-coded ``np.int32`` keeps the selection logic in
+#: exactly one place (and keeps rule R004 quiet).
+DEFAULT_ID_DTYPE = id_dtype(0)
 
 
 # ----------------------------------------------------------------------

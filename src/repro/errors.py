@@ -67,5 +67,17 @@ class PlanError(KaleidoError):
     """An exploration plan (partitioning / scheduling) was inconsistent."""
 
 
+class PartPurityError(KaleidoError):
+    """An application mutated shared state inside a per-part hot phase.
+
+    Raised by the part-purity sanitizer when a ``MiningApplication``
+    writes an attribute on itself while parts are being executed —
+    exactly the shared-mapper-state race that made FSM silently wrong
+    under the threaded executor before PR 1's review.  Per-part mutation
+    belongs in the state object returned by ``start_part`` and absorbed
+    serially by ``finish_part``.
+    """
+
+
 class UnknownDatasetError(KaleidoError):
     """A dataset name was not found in the registry."""

@@ -8,7 +8,6 @@ clustering (what makes motif/clique mining expensive).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

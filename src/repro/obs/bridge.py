@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
-    from ..core.eigenhash import PatternHasher
     from ..core.engine import KaleidoEngine
     from ..storage.meter import IOStats, MemoryMeter
 

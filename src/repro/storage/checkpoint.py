@@ -118,7 +118,12 @@ def save_cse(
     levels_meta = []
     for idx, level in enumerate(cse.levels):
         chunks = list(level.iter_vert_chunks())
-        vert = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int32)
+        if chunks:
+            vert = np.concatenate(chunks)
+        else:
+            # Preserve the level's id width so a resumed run keeps the
+            # planner's dtype decision even through an empty level.
+            vert = np.zeros(0, dtype=getattr(level, "dtype", np.int64))
         vert_name = f"level{idx}_vert-{nonce}.npy"
         payload = _array_payload(vert)
         _atomic_write(os.path.join(directory, vert_name), payload)
@@ -235,7 +240,9 @@ def load_cse(directory: str | os.PathLike[str]) -> CSE:
         off = _load_array(directory, off_name, entry.get("crc_off"))
         _validate_level(idx, vert, off, entry)
         try:
-            cse.append_level(InMemoryLevel(vert, off))
+            # dtype=vert.dtype: keep the saved id width — the default
+            # would narrow an int64 checkpoint back to int32 on resume.
+            cse.append_level(InMemoryLevel(vert, off, dtype=vert.dtype))
         except ValueError as exc:
             raise StorageError(
                 f"checkpoint level {idx} is inconsistent with its parent: {exc}"

@@ -48,9 +48,11 @@ class SpillingSink(LevelSink):
         prefetch: bool = True,
         tag: str = "vert",
         queue_maxsize: int = 16,
+        dtype: np.dtype | None = None,
     ) -> None:
         self.store = store
         self.prefetch = prefetch
+        self.dtype = None if dtype is None else np.dtype(dtype)
         self._queue = WritingQueue(store, synchronous=synchronous, maxsize=queue_maxsize)
         self._tag = tag
 
@@ -59,7 +61,9 @@ class SpillingSink(LevelSink):
 
     def finish(self, off: np.ndarray) -> Level:
         handles = self._queue.close()
-        return SpilledLevel(self.store, handles, off, prefetch=self.prefetch)
+        return SpilledLevel(
+            self.store, handles, off, prefetch=self.prefetch, dtype=self.dtype
+        )
 
     def abort(self) -> None:
         """Stop the queue and delete the partial level's files."""
@@ -79,7 +83,9 @@ def spill_level(
         if chunk.shape[0] == 0 and handles:
             break
         handles.append(store.save(chunk, tag="demoted"))
-    return SpilledLevel(store, handles, level.off_array(), prefetch=prefetch)
+    return SpilledLevel(
+        store, handles, level.off_array(), prefetch=prefetch, dtype=vert.dtype
+    )
 
 
 class StoragePolicy:
@@ -166,11 +172,13 @@ class StoragePolicy:
         predicted_bytes = predicted_entries * bytes_per_entry
         return not self.budget.fits(self.meter.current_bytes, predicted_bytes)
 
-    def make_sink(self, cse: CSE) -> "SpillingSink":
+    def make_sink(self, cse: CSE, dtype=None) -> "SpillingSink":
         """Build the spilling sink, demoting the top level when pressed.
 
         If even the offsets of existing levels blow the budget, the
-        current top level is demoted to disk as well.
+        current top level is demoted to disk as well.  ``dtype`` is the
+        produced level's id storage width, recorded on the
+        :class:`SpilledLevel` so empty levels reload at the right width.
         """
         self.spilled_levels += 1
         store = self._ensure_store()
@@ -189,6 +197,7 @@ class StoragePolicy:
             prefetch=self.prefetch,
             tag=f"vert{cse.depth + 1}",
             queue_maxsize=self.queue_maxsize,
+            dtype=dtype,
         )
 
     def sink_for_next_level(
@@ -206,7 +215,7 @@ class StoragePolicy:
         """
         if not self.should_spill(predicted_entries, bytes_per_entry):
             return InMemorySink(dtype=dtype)
-        return self.make_sink(cse)
+        return self.make_sink(cse, dtype=dtype)
 
     def close(self) -> None:
         if self.store is not None:

@@ -177,7 +177,7 @@ class WritingQueue:
                 self._results.append((key, self._save_with_retry(array, tag)))
                 if self._metrics is not None:
                     self._metrics.counter("queue.parts_written").inc()
-            except BaseException as exc:  # surfaced on next submit/flush
+            except BaseException as exc:  # repro: ignore[R005] -- deferred re-raise in _raise_pending
                 self._error = exc
             finally:
                 self._queue.task_done()

@@ -33,6 +33,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..core.kernels import DEFAULT_ID_DTYPE
 from ..errors import CorruptPartError, DiskFullError, StorageError, TransientStorageError
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER, NullTracer, Tracer
@@ -268,12 +269,14 @@ class SpilledLevel:
         off: np.ndarray | None,
         prefetch: bool = True,
         prefetch_depth: int = 1,
+        dtype: np.dtype | None = None,
     ) -> None:
         self.store = store
         self.parts = parts
         self.off = None if off is None else np.ascontiguousarray(off, dtype=np.int64)
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
+        self._dtype = None if dtype is None else np.dtype(dtype)
         self._length = sum(p.length for p in parts)
         if self.off is not None and self.off[-1] != self._length:
             raise StorageError(
@@ -291,10 +294,15 @@ class SpilledLevel:
     def off_array(self) -> np.ndarray | None:
         return self.off
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Id storage width of this level (recorded at spill time)."""
+        return self._dtype if self._dtype is not None else DEFAULT_ID_DTYPE
+
     def vert_array(self) -> np.ndarray:
         chunks = [self.store.load(p) for p in self.parts]
         if not chunks:
-            return np.zeros(0, dtype=np.int32)
+            return np.zeros(0, dtype=self.dtype)
         return np.concatenate(chunks)
 
     def iter_vert_chunks(self) -> Iterator[np.ndarray]:

@@ -43,7 +43,7 @@ class _Prefetch:
         def run() -> None:
             try:
                 self.result = store.load(part)
-            except BaseException as exc:  # propagate to consumer
+            except BaseException as exc:  # repro: ignore[R005] -- deferred re-raise at consume()
                 self.error = exc
             finally:
                 self.done.set()

@@ -1,0 +1,37 @@
+"""R001 fixture: shared-state writes in per-part hot methods (6 hits)."""
+
+
+class MiningApplication:
+    pass
+
+
+class LeakyApp(MiningApplication):
+    def __init__(self):
+        self.count = 0
+        self.seen = []
+        self.cache = {}
+
+    def map_embedding(self, ctx, embedding, pmap, part=None):
+        self.count += 1  # hit 1: AugAssign on self
+        self.seen.append(embedding)  # hit 2: mutator call on self attr
+        self._note(embedding)
+
+    def embedding_filter(self, embedding, candidate):
+        self.cache[candidate] = True
+        self.last = candidate  # hit 3: plain Assign on self
+        return True
+
+    def _note(self, embedding):
+        # hit 4: reached transitively from map_embedding via self._note
+        self.latest = embedding
+
+    def finish_part(self, ctx, part):
+        self.count += 1  # legal: finish_part is coordinator-serial
+
+
+class DeeperApp(LeakyApp):
+    """Subclass-of-subclass: still an app, still checked."""
+
+    def start_part(self, ctx):
+        self.parts_started += 1  # hit 5: start_part is hot too
+        return []

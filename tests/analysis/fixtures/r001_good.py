@@ -1,0 +1,29 @@
+"""R001 fixture: the legal shape — mutation lives in the part state."""
+
+
+class MiningApplication:
+    pass
+
+
+class PureApp(MiningApplication):
+    def __init__(self):
+        self.total = 0
+
+    def start_part(self, ctx):
+        return {"count": 0, "seen": []}
+
+    def map_embedding(self, ctx, embedding, pmap, part=None):
+        local = list(embedding)  # locals are fine
+        part["count"] += 1  # part state is fine
+        part["seen"].append(local)
+        pmap[0] = pmap.get(0, 0) + 1  # pmap is per-part too
+
+    def finish_part(self, ctx, part):
+        self.total += part["count"]  # serial absorption: legal
+
+
+class NotAnApp:
+    """Same writes, but not a MiningApplication — out of R001's reach."""
+
+    def map_embedding(self, ctx, embedding, pmap):
+        self.count = 1

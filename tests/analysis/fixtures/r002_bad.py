@@ -1,0 +1,35 @@
+"""R002 fixture: wall clocks, global RNG, set-order iteration (6 hits)."""
+
+import os
+import random
+import time
+
+import numpy as np
+from time import time as wall_clock
+
+
+def stamp(result):
+    result["at"] = time.time()  # hit 1: wall clock
+    result["t2"] = wall_clock()  # hit 2: from-import alias of time.time
+    return result
+
+
+def shuffle_parts(parts):
+    random.shuffle(parts)  # hit 3: global RNG state
+    return parts
+
+
+def salt():
+    return os.urandom(8)  # hit 4: entropy source
+
+
+def jitter(array):
+    np.random.shuffle(array)  # hit 5: numpy global RNG
+    return array
+
+
+def merge(vertices):
+    out = []
+    for v in {v for vs in vertices for v in vs}:  # hit 6: set iteration
+        out.append(v)
+    return out

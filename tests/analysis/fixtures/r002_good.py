@@ -1,0 +1,31 @@
+"""R002 fixture: injected clocks, seeded generators, sorted sets."""
+
+import random
+import time
+
+import numpy as np
+
+
+def measure(work):
+    started = time.perf_counter()  # monotonic timing is legal
+    work()
+    return time.monotonic() - started
+
+
+def shuffle_parts(parts, seed):
+    rng = random.Random(seed)  # seeded generator is legal
+    rng.shuffle(parts)
+    return parts
+
+
+def jitter(array, seed):
+    rng = np.random.default_rng(seed)  # seeded numpy generator is legal
+    rng.shuffle(array)
+    return array
+
+
+def merge(vertices):
+    out = []
+    for v in sorted({v for vs in vertices for v in vs}):  # sorted: legal
+        out.append(v)
+    return out

@@ -1,0 +1,15 @@
+"""R003 fixture: unguarded tracer probes in a hot path (4 hits)."""
+
+
+def expand(parts, tracer):
+    tracer.begin("expand", parts=len(parts))  # hit 1: no guard
+    for part in parts:
+        tracer.instant("part", index=part)  # hit 2: no guard
+    tracer.end("expand")  # hit 3: no guard
+
+
+def load(store, part, tracer):
+    if len(part):
+        # guarded by the wrong condition — still a hit
+        tracer.instant("load", part=part)  # hit 4
+    return store

@@ -1,0 +1,26 @@
+"""R003 fixture: both accepted guard shapes."""
+
+
+def expand(parts, tracer):
+    if tracer.enabled:
+        tracer.begin("expand", parts=len(parts))
+    for part in parts:
+        if tracer.enabled:
+            tracer.instant("part", index=part)
+    if tracer.enabled:
+        tracer.end("expand")
+
+
+def emit_spans(schedule, tracer):
+    # early-return guard: everything below is dominated by the check
+    if tracer is None or not tracer.enabled:
+        return
+    for span in schedule:
+        tracer.begin("part", index=span)
+        tracer.end("part")
+
+
+def span_user(tracer, work):
+    # span() is the self-guarding context-manager API — not a raw probe
+    with tracer.span("work"):
+        work()

@@ -1,0 +1,11 @@
+"""R004 fixture: hard-coded np.int32 where id_dtype must thread (2 hits)."""
+
+import numpy as np
+
+
+def empty_level():
+    return np.zeros(0, dtype=np.int32)  # hit 1
+
+
+def widen(vert):
+    return np.asarray(vert, dtype=np.int32)  # hit 2

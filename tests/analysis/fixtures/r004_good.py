@@ -1,0 +1,18 @@
+"""R004 fixture: the legal shapes — threading, iinfo, and id_dtype."""
+
+import numpy as np
+
+_INT32_MAX = int(np.iinfo(np.int32).max)  # boundary query: exempt
+
+
+def id_dtype(count, boundary=_INT32_MAX):
+    # the selection point itself is exempt
+    return np.dtype(np.int32) if count <= boundary else np.dtype(np.int64)
+
+
+def empty_level(dtype):
+    return np.zeros(0, dtype=dtype)  # threaded dtype: legal
+
+
+def offsets(counts):
+    return np.cumsum(counts, dtype=np.int64)  # widening is legal

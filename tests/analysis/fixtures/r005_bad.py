@@ -1,0 +1,24 @@
+"""R005 fixture: swallowed storage errors (3 hits)."""
+
+
+def load(path):
+    try:
+        return open(path, "rb").read()
+    except:  # hit 1: bare except
+        return None
+
+
+def save(path, payload):
+    try:
+        with open(path, "wb") as handle:
+            handle.write(payload)
+    except Exception:  # hit 2: swallowed catch-all
+        pass
+
+
+def remove(path, os):
+    try:
+        os.remove(path)
+    except (ValueError, BaseException):  # hit 3: catch-all in a tuple
+        return False
+    return True

@@ -1,0 +1,21 @@
+"""R005 fixture: catch-alls that re-raise typed errors are legal."""
+
+
+class StorageError(Exception):
+    pass
+
+
+def load(path):
+    try:
+        return open(path, "rb").read()
+    except OSError as exc:  # specific: legal
+        raise StorageError(f"cannot read {path}") from exc
+
+
+def save(path, payload, logger):
+    try:
+        with open(path, "wb") as handle:
+            handle.write(payload)
+    except Exception as exc:  # catch-all, but re-raises: legal
+        logger.warning("save failed: %s", exc)
+        raise StorageError(f"cannot write {path}") from exc

@@ -1,0 +1,52 @@
+"""The lint CLIs: ``python -m repro.analysis`` and ``repro lint``."""
+
+from pathlib import Path
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.cli import main as repro_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = str(Path(__file__).parents[2] / "src" / "repro")
+
+
+def test_module_cli_clean_tree_exits_zero(capsys):
+    assert analysis_main([SRC]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_module_cli_reports_violations(capsys):
+    bad = str(FIXTURES / "r004_bad.py")
+    assert analysis_main([bad, "--select", "R004"]) == 1
+    out, err = capsys.readouterr()
+    assert "R004" in out
+    assert "r004_bad.py" in out
+    assert "violations" in err
+
+
+def test_module_cli_missing_path_exits_two(capsys):
+    assert analysis_main(["does/not/exist.py"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_module_cli_unknown_rule_exits_two(capsys):
+    assert analysis_main([SRC, "--select", "R999"]) == 2
+    assert "R999" in capsys.readouterr().err
+
+
+def test_module_cli_list_rules(capsys):
+    assert analysis_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("R001", "R002", "R003", "R004", "R005"):
+        assert rule in out
+
+
+def test_repro_lint_subcommand(capsys):
+    assert repro_main(["lint", SRC]) == 0
+    bad = str(FIXTURES / "r005_bad.py")
+    assert repro_main(["lint", bad, "--select", "R005"]) == 1
+    assert "R005" in capsys.readouterr().out
+
+
+def test_repro_lint_list_rules(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    assert "R003" in capsys.readouterr().out

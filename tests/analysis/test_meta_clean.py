@@ -1,0 +1,24 @@
+"""The shipped source tree is violation-free — the acceptance gate.
+
+If this test fails, either new code broke an engine contract (fix the
+code) or the new code is a justified exception (add a
+``# repro: ignore[RULE]`` with a rationale).
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def test_src_tree_is_violation_free():
+    diagnostics = lint_paths([SRC])
+    assert diagnostics == [], "\n".join(diag.format() for diag in diagnostics)
+
+
+def test_src_tree_has_expected_shape():
+    # Guard against the meta-test silently linting nothing.
+    files = list(SRC.rglob("*.py"))
+    assert len(files) > 30
+    assert (SRC / "core" / "engine.py").exists()

@@ -1,0 +1,96 @@
+"""Each rule fires on its bad fixture and stays silent on its good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file, lint_source, rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> expected violation count in its bad fixture.
+EXPECTED_BAD_HITS = {
+    "R001": 6,
+    "R002": 6,
+    "R003": 4,
+    "R004": 2,
+    "R005": 3,
+}
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED_BAD_HITS))
+def test_rule_fires_on_bad_fixture(rule):
+    diagnostics = lint_file(FIXTURES / f"{rule.lower()}_bad.py", select=[rule])
+    assert len(diagnostics) == EXPECTED_BAD_HITS[rule]
+    assert {diag.rule for diag in diagnostics} == {rule}
+    for diag in diagnostics:
+        assert diag.line > 0
+        assert rule in diag.format()
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED_BAD_HITS))
+def test_rule_silent_on_good_fixture(rule):
+    diagnostics = lint_file(FIXTURES / f"{rule.lower()}_good.py", select=[rule])
+    assert diagnostics == []
+
+
+def test_registry_lists_all_rules():
+    assert rule_ids() == ("R001", "R002", "R003", "R004", "R005")
+
+
+def test_trailing_suppression_silences_own_line():
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # repro: ignore[R002]\n"
+    )
+    assert lint_source(source, select=["R002"]) == []
+
+
+def test_standalone_suppression_silences_next_line():
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    # repro: ignore[R002] -- test clock\n"
+        "    return time.time()\n"
+    )
+    assert lint_source(source, select=["R002"]) == []
+
+
+def test_suppression_is_rule_specific():
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # repro: ignore[R001]\n"
+    )
+    diagnostics = lint_source(source, select=["R002"])
+    assert [diag.rule for diag in diagnostics] == ["R002"]
+
+
+def test_multi_rule_suppression():
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # repro: ignore[R001, R002]\n"
+    )
+    assert lint_source(source, select=["R002"]) == []
+
+
+def test_syntax_error_reports_parse_diagnostic():
+    diagnostics = lint_source("def broken(:\n")
+    assert len(diagnostics) == 1
+    assert diagnostics[0].rule == "E999"
+
+
+def test_unknown_select_raises():
+    with pytest.raises(ValueError, match="R999"):
+        lint_source("x = 1\n", select=["R999"])
+
+
+def test_scoping_limits_rules_without_select():
+    # R005 is scoped to storage/: the same code is clean in core/.
+    source = "try:\n    pass\nexcept Exception:\n    pass\n"
+    storage = lint_source(source, path="src/repro/storage/thing.py")
+    core = lint_source(source, path="src/repro/core/thing.py")
+    assert [diag.rule for diag in storage] == ["R005"]
+    assert core == []

@@ -5,7 +5,6 @@ import pytest
 from repro import FrequentSubgraphMining, KaleidoEngine
 from repro.apps.fsm import edge_pattern_supports
 from repro.apps.reference import fsm_naive
-from repro.graph import from_edge_list
 from tests.conftest import random_labeled_graph
 
 

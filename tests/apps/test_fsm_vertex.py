@@ -6,7 +6,7 @@ from repro import KaleidoEngine
 from repro.apps.fsm_vertex import VertexInducedFSM
 from repro.apps.reference import connected_vertex_sets
 from repro.core import Pattern, canonical_key
-from repro.core.isomorphism import automorphisms, pattern_from_key
+from repro.core.isomorphism import pattern_from_key
 from repro.graph import from_edge_list
 from tests.conftest import random_labeled_graph
 

@@ -1,11 +1,9 @@
 """Unit tests for the Arabesque-like baseline engine."""
 
 from repro import (
-    CliqueDiscovery,
     FrequentSubgraphMining,
     KaleidoEngine,
     MotifCounting,
-    TriangleCounting,
 )
 from repro.baselines import ArabesqueLikeEngine
 from tests.conftest import random_labeled_graph

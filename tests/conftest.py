@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from contextlib import ExitStack
+
 import numpy as np
 import pytest
 
+from repro.core.engine import KaleidoEngine
 from repro.graph import Graph, GraphBuilder, from_edge_list
 
 
@@ -56,3 +59,20 @@ def random_labeled_graph(
 @pytest.fixture
 def small_random() -> Graph:
     return random_labeled_graph(12, 20, 3, seed=7)
+
+
+@pytest.fixture
+def sanitized_engine():
+    """Factory for engines running under the part-purity sanitizer.
+
+    ``engine = sanitized_engine(graph, workers=4, executor="threads")``
+    builds a ``KaleidoEngine`` with ``sanitize=True`` (overridable) and
+    closes it when the test ends.
+    """
+    with ExitStack() as stack:
+
+        def factory(graph: Graph, **kwargs) -> KaleidoEngine:
+            kwargs.setdefault("sanitize", True)
+            return stack.enter_context(KaleidoEngine(graph, **kwargs))
+
+        yield factory

@@ -1,6 +1,5 @@
 """Unit tests for the MiningApplication API surface."""
 
-import numpy as np
 import pytest
 
 from repro.core.api import EngineContext, MiningApplication, MiningResult

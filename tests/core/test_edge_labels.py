@@ -1,6 +1,5 @@
 """Edge-label support (Definition 1's L(u, v)) across the stack."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for the KaleidoEngine orchestration."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Service-tier smoke benchmark: latency, cache hit rate, concurrency.
+
+Drives a ``MiningService`` through a small multi-tenant workload on the
+tiny citeseer stand-in twice — once serially, once with the measured
+phase fully in flight — and writes a ``BENCH_service.json`` record with
+p50/p95 request latency per route, the result-cache hit rate, and the
+concurrent-vs-serial throughput ratio.
+
+Each pass has two phases.  The *warm* phase runs one tenant's queries
+serially so the result cache is populated identically in both passes
+(concurrent first arrivals would otherwise race the cache and make the
+hit rate nondeterministic).  The *measured* phase is the other tenants'
+traffic: repeats of the warm queries (GREEN cache hits) plus one
+distinct full run per tenant (RED), tagged with a cache-busting param
+to simulate per-tenant exclusive queries over the shared session pool.
+
+Exits nonzero if any exact answer diverges from a solo
+``KaleidoEngine`` run or if the cache hit/miss counts are not the
+deterministic expected values.  Meant as a cheap CI guard that the
+admission → cache → route → execute path stays wired up, not as a
+performance measurement.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py [--out BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import KaleidoEngine, MiningService, QueryRequest  # noqa: E402
+from repro.graph import datasets  # noqa: E402
+from repro.service import Route, build_app  # noqa: E402
+
+WARM_TENANT = "alice"
+TENANTS = ("bob", "carol", "dave")
+
+#: The shared workloads: mined once in the warm phase, then repeated by
+#: every measured tenant (deterministic GREEN hits).  One approximate
+#: query exercises the YELLOW lane; it is cached per-mode like the rest.
+SHARED = (
+    {"app": "tc", "k": 3, "params": {}},
+    {"app": "motif", "k": 3, "params": {}},
+    {"app": "clique", "k": 3, "params": {}},
+    {"app": "motif", "k": 3, "params": {"samples": 200, "seed": 7}, "mode": "approximate"},
+)
+
+
+def _request(spec: dict, dataset: str, tenant: str) -> QueryRequest:
+    return QueryRequest(
+        app=spec["app"],
+        dataset=dataset,
+        profile="tiny",
+        k=spec["k"],
+        params=dict(spec["params"]),
+        tenant=tenant,
+        mode=spec.get("mode", "exact"),
+    )
+
+
+def build_measured(dataset: str) -> list[QueryRequest]:
+    requests = [
+        _request(spec, dataset, tenant) for tenant in TENANTS for spec in SHARED
+    ]
+    # One exclusive RED run per tenant: the tag changes the cache key but
+    # not the mined work, so concurrency multiplexes three full motif
+    # runs over the shared pool while the answers stay comparable.
+    requests += [
+        _request(
+            {"app": "motif", "k": 3, "params": {"tag": tenant}}, dataset, tenant
+        )
+        for tenant in TENANTS
+    ]
+    return requests
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_pass(dataset: str, workers: int, concurrent: bool) -> dict:
+    warm = [_request(spec, dataset, WARM_TENANT) for spec in SHARED]
+    measured = build_measured(dataset)
+    with MiningService(pool_workers=workers, max_inflight=len(measured)) as service:
+        for request in warm:
+            service.query(request)
+        start = time.perf_counter()
+        if concurrent:
+            futures = [service.submit(request) for request in measured]
+            results = [future.result() for future in futures]
+        else:
+            results = [service.query(request) for request in measured]
+        elapsed = time.perf_counter() - start
+        snapshot = service.stats()["metrics"]
+
+    latencies = [r.wall_seconds for r in results]
+    by_route: dict[str, list[float]] = {}
+    for result in results:
+        by_route.setdefault(result.route.value, []).append(result.wall_seconds)
+    hits = int(snapshot.get("service.cache.hits", {}).get("value", 0))
+    misses = int(snapshot.get("service.cache.misses", {}).get("value", 0))
+    return {
+        "mode": "concurrent" if concurrent else "serial",
+        "warm_requests": len(warm),
+        "measured_requests": len(results),
+        "wall_seconds": round(elapsed, 4),
+        "throughput_rps": round(len(results) / elapsed, 2),
+        "latency_p50_seconds": round(percentile(latencies, 0.50), 4),
+        "latency_p95_seconds": round(percentile(latencies, 0.95), 4),
+        "latency_by_route": {
+            route: {
+                "count": len(values),
+                "p50_seconds": round(percentile(values, 0.50), 4),
+                "p95_seconds": round(percentile(values, 0.95), 4),
+            }
+            for route, values in sorted(by_route.items())
+        },
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+        "routes": {route: len(values) for route, values in sorted(by_route.items())},
+        "exact_patterns": _exact_pattern_maps(measured, results),
+    }
+
+
+def _exact_pattern_maps(requests, results) -> dict:
+    """Merged exact-lane answers keyed ``app/k`` — every tenant (and
+    every cache-busting tag) must agree on each key."""
+    merged: dict[str, dict] = {}
+    for request, result in zip(requests, results):
+        if request.mode != "exact":
+            continue
+        key = f"{request.app}/k{request.k}"
+        patterns = {str(h): count for h, count in sorted(result.pattern_map.items())}
+        if key in merged and merged[key] != patterns:
+            raise RuntimeError(f"service answers disagree on {key}")
+        merged[key] = patterns
+    return merged
+
+
+def solo_pattern_maps(dataset: str) -> dict:
+    """The same exact workloads run straight on one KaleidoEngine."""
+    graph = datasets.load(dataset, "tiny")
+    maps = {}
+    with KaleidoEngine(graph) as engine:
+        for spec in SHARED:
+            if spec.get("mode") == "approximate":
+                continue
+            result = engine.run(build_app(spec["app"], spec["k"], spec["params"]))
+            maps[f"{spec['app']}/k{spec['k']}"] = {
+                str(h): count for h, count in sorted(result.pattern_map.items())
+            }
+    return maps
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--dataset", default="citeseer")
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    serial = run_pass(args.dataset, args.workers, concurrent=False)
+    concurrent = run_pass(args.dataset, args.workers, concurrent=True)
+    solo = solo_pattern_maps(args.dataset)
+
+    # Deterministic cache accounting: 4 warm misses + 3 tagged misses,
+    # 12 repeat hits — identical in both passes by construction.
+    expected_hits, expected_misses = 4 * len(TENANTS), len(SHARED) + len(TENANTS)
+    ok = True
+    for record in (serial, concurrent):
+        label = record["mode"]
+        if record["exact_patterns"] != solo:
+            print(f"FAIL: {label} service answers diverge from solo engine run", file=sys.stderr)
+            ok = False
+        if (record["cache_hits"], record["cache_misses"]) != (expected_hits, expected_misses):
+            print(
+                f"FAIL: {label} cache counts {record['cache_hits']}/{record['cache_misses']} "
+                f"(hits/misses), expected {expected_hits}/{expected_misses}",
+                file=sys.stderr,
+            )
+            ok = False
+        if record["routes"].get(Route.GREEN.value, 0) != expected_hits:
+            print(f"FAIL: {label} GREEN route count != cache hits", file=sys.stderr)
+            ok = False
+
+    record = {
+        "benchmark": "service_smoke",
+        "workload": {
+            "dataset": args.dataset,
+            "profile": "tiny",
+            "tenants": 1 + len(TENANTS),
+            "warm_requests": serial["warm_requests"],
+            "measured_requests": serial["measured_requests"],
+            "pool_workers": args.workers,
+        },
+        "serial": {k: v for k, v in serial.items() if k != "exact_patterns"},
+        "concurrent": {k: v for k, v in concurrent.items() if k != "exact_patterns"},
+        "concurrent_vs_serial_speedup": round(
+            serial["wall_seconds"] / concurrent["wall_seconds"], 2
+        ),
+        "matches_solo_engine": ok,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+    for label in ("serial", "concurrent"):
+        row = record[label]
+        print(
+            f"{label:>10}: {row['measured_requests']} requests in {row['wall_seconds']:.3f}s "
+            f"({row['throughput_rps']:.1f} req/s), p50 {row['latency_p50_seconds'] * 1000:.1f}ms, "
+            f"p95 {row['latency_p95_seconds'] * 1000:.1f}ms, "
+            f"cache hit rate {row['cache_hit_rate']:.2f}, routes {row['routes']}"
+        )
+    print(f"concurrent vs serial speedup: {record['concurrent_vs_serial_speedup']:.2f}x")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from .core import (
 )
 from .graph import Graph, GraphBuilder, datasets
 from .obs import MetricsRegistry, Tracer, write_chrome_trace
+from .service import MiningService, QueryBudget, QueryRequest, QueryResult, TenantQuota
 from .storage import MemoryBudget, MemoryMeter
 
 __version__ = "1.0.0"
@@ -64,6 +65,11 @@ __all__ = [
     "CliqueDiscovery",
     "TriangleCounting",
     "FrequentSubgraphMining",
+    "MiningService",
+    "QueryRequest",
+    "QueryResult",
+    "QueryBudget",
+    "TenantQuota",
     "MemoryMeter",
     "MemoryBudget",
     "Tracer",

@@ -15,7 +15,10 @@ R001      Part purity: ``MiningApplication`` subclasses must not write
 R002      Determinism: no wall-clock / entropy sources (``time.time``,
           the global ``random`` state, ``os.urandom``, ``uuid.uuid1/4``,
           ``datetime.now``) and no syntactic set-iteration-order hazards
-          in ``core/``, ``apps/`` and ``balance/``.  Clocks must be
+          in ``core/``, ``apps/``, ``balance/`` and ``service/`` (the
+          query tier caches on content identity and must replay
+          byte-identically, so request ids come from a counter and
+          sampling seeds from the request).  Clocks must be
           injected (as ``obs.trace.Tracer`` does) and randomness must go
           through a seeded generator.  ``time.perf_counter`` and
           ``time.monotonic`` stay legal: they measure work, they do not
@@ -33,10 +36,10 @@ R004      Dtype discipline: no hard-coded ``np.int32`` in the modules
           cannot corrupt an id.  The selection point itself
           (``id_dtype``) and ``np.iinfo`` boundary queries are exempt.
 R005      Error taxonomy: no bare ``except:`` and no swallowed
-          ``except Exception/BaseException`` in ``storage/``; catch-all
-          handlers must re-raise (a typed class from ``repro.errors``),
-          otherwise corruption and disk faults turn into silently wrong
-          results.
+          ``except Exception/BaseException`` in ``storage/`` or
+          ``service/``; catch-all handlers must re-raise (a typed class
+          from ``repro.errors``), otherwise corruption, disk faults and
+          tenant-facing failures turn into silently wrong results.
 ========  ==============================================================
 
 Rules operate purely on the AST — nothing is imported or executed — and
@@ -285,7 +288,7 @@ class PartPurityRule(Rule):
 class DeterminismRule(Rule):
     id = "R002"
     title = "no wall clocks, global RNG or set-order hazards"
-    scope = ("core/", "apps/", "balance/")
+    scope = ("core/", "apps/", "balance/", "service/")
 
     #: module -> function names whose results depend on wall clock/entropy.
     BANNED_CALLS = {
@@ -568,8 +571,8 @@ class DtypeDisciplineRule(Rule):
 # ----------------------------------------------------------------------
 class ErrorTaxonomyRule(Rule):
     id = "R005"
-    title = "storage catch-alls must re-raise typed errors"
-    scope = ("storage/",)
+    title = "storage/service catch-alls must re-raise typed errors"
+    scope = ("storage/", "service/")
 
     CATCH_ALLS = frozenset({"Exception", "BaseException"})
 
@@ -583,8 +586,9 @@ class ErrorTaxonomyRule(Rule):
                     self.diagnostic(
                         node,
                         path,
-                        "bare 'except:' in storage code; catch a specific "
-                        "error and re-raise a typed class from repro.errors",
+                        "bare 'except:' in a fault-handling module; catch a "
+                        "specific error and re-raise a typed class from "
+                        "repro.errors",
                     )
                 )
                 continue
@@ -597,7 +601,7 @@ class ErrorTaxonomyRule(Rule):
                 self.diagnostic(
                     node,
                     path,
-                    f"'except {caught}' swallows the error; storage handlers "
+                    f"'except {caught}' swallows the error; fault handlers "
                     f"must re-raise a typed class from repro.errors",
                 )
             )

@@ -12,6 +12,11 @@ Commands
     Print the dataset registry (paper stats vs generated stand-ins).
 ``generate``
     Write a synthetic graph to an edge-list file.
+``serve`` / ``query``
+    The mining service front end: ``serve`` runs the multi-tenant query
+    tier over line-delimited JSON (stdin/stdout by default, or a TCP
+    socket with ``--socket HOST:PORT``); ``query`` is the one-shot
+    client for a socket-mode service.
 """
 
 from __future__ import annotations
@@ -156,6 +161,65 @@ def build_parser() -> argparse.ArgumentParser:
     approx.add_argument("-k", type=int, default=3)
     approx.add_argument("--samples", type=int, default=1000)
     approx.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the mining service (line-delimited JSON over stdin or TCP)",
+    )
+    serve.add_argument("--workers", type=int, default=4, help="shared pool size")
+    serve.add_argument(
+        "--sessions-per-graph",
+        type=int,
+        default=4,
+        help="max warm engine sessions per graph fingerprint",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256, help="result-cache LRU capacity"
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="default per-tenant concurrent-query quota",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP instead of stdin/stdout (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the per-request span tracks as a Chrome trace on exit",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the service metrics snapshot as JSON on exit",
+    )
+
+    query = sub.add_parser(
+        "query", help="send one query to a running 'repro serve --socket' service"
+    )
+    query.add_argument("app", choices=["tc", "motif", "clique", "fsm"])
+    query.add_argument("--socket", required=True, metavar="HOST:PORT")
+    query.add_argument("--dataset", default="citeseer")
+    query.add_argument("--profile", default="bench")
+    query.add_argument("-k", type=int, default=3)
+    query.add_argument("--tenant", default="default")
+    query.add_argument(
+        "--mode", default="exact", choices=["exact", "approximate"]
+    )
+    query.add_argument("--max-embeddings", type=int, default=None)
+    query.add_argument("--samples", type=int, default=None)
+    query.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="app parameter (repeatable), e.g. --param support=5",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the invariant lint suite (rules R001-R005)"
@@ -311,6 +375,89 @@ def _cmd_approx(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_host_port(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry, write_chrome_trace
+    from .service import MiningService, ServiceServer, serve_stream
+    from .service.tenants import TenantQuota
+
+    wants_obs = args.trace_out or args.metrics_out
+    tracer = Tracer() if args.trace_out else None
+    service = MiningService(
+        pool_workers=args.workers,
+        max_sessions_per_graph=args.sessions_per_graph,
+        cache_entries=args.cache_entries,
+        default_quota=TenantQuota(max_concurrent=args.max_concurrent),
+        tracer=tracer,
+        metrics=MetricsRegistry() if wants_obs else None,
+    )
+    try:
+        if args.socket is not None:
+            host, port = _parse_host_port(args.socket)
+            server = ServiceServer(service, host, port)
+            bound_host, bound_port = server.address
+            print(f"serving on {bound_host}:{bound_port}", file=sys.stderr)
+            sys.stderr.flush()
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+            finally:
+                server.stop()
+        else:
+            served = serve_stream(service, sys.stdin, sys.stdout)
+            print(f"served {served} requests", file=sys.stderr)
+    finally:
+        service.close()
+        if args.trace_out:
+            write_chrome_trace(args.trace_out, service.tracer)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(service.metrics.snapshot(), handle, indent=2)
+                handle.write("\n")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .service.protocol import request_over_socket
+
+    params: dict[str, object] = {}
+    for item in args.param:
+        key, _, raw = item.partition("=")
+        if not key or not raw:
+            print(f"bad --param {item!r} (want KEY=VALUE)", file=sys.stderr)
+            return 2
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    payload: dict[str, object] = {
+        "op": "query",
+        "app": args.app,
+        "k": args.k,
+        "dataset": args.dataset,
+        "profile": args.profile,
+        "tenant": args.tenant,
+        "mode": args.mode,
+        "params": params,
+    }
+    budget: dict[str, object] = {}
+    if args.max_embeddings is not None:
+        budget["max_embeddings"] = args.max_embeddings
+    if args.samples is not None:
+        budget["samples"] = args.samples
+    if budget:
+        payload["budget"] = budget
+    host, port = _parse_host_port(args.socket)
+    response = request_over_socket(host, port, payload)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("status") == "ok" else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.__main__ import main as lint_main
 
@@ -336,6 +483,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "approx":
         return _cmd_approx(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

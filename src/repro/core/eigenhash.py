@@ -206,13 +206,30 @@ class PatternHasher:
 
     Also keeps the representative :class:`Pattern` per hash so results can
     be reported as structures, not bare integers.
+
+    Both caches are bounded: at most ``max_entries`` structures live in
+    each, with least-recently-used eviction once the cap is reached
+    (``evictions`` counts them).  One engine run never approaches the
+    default cap — distinct pattern structures are few — but the hasher
+    is shared across runs by the long-running service tier, where an
+    unbounded memo is a slow leak.
     """
 
-    def __init__(self, cache: bool = True) -> None:
+    #: Default cache cap: far above any single run's distinct-structure
+    #: count, small enough that a service sharing one hasher for days
+    #: stays bounded (~tens of MB at the accounted ~120 B/entry).
+    DEFAULT_MAX_ENTRIES = 1 << 18
+
+    def __init__(self, cache: bool = True, max_entries: int | None = None) -> None:
         #: ``cache=False`` recomputes the polynomial on every call — the
         #: paper's per-embedding checking regime, used by the Figure-12
         #: benchmark and the caching ablation.
         self.cache = cache
+        if max_entries is None:
+            max_entries = self.DEFAULT_MAX_ENTRIES
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
         self._cache: dict[tuple, int] = {}
         # Raw-structure front cache: embedding streams repeat the same raw
         # (labels, bits) structure over and over, and those tuples already
@@ -224,10 +241,27 @@ class PatternHasher:
         self._representatives: dict[int, Pattern] = {}
         self.hits = 0
         self.misses = 0
+        #: Entries dropped by the LRU cap, across both caches.
+        self.evictions = 0
         # Concurrent executors call hash_pattern from pool threads; the
         # dict operations are atomic (and deterministic per key), but the
-        # counters need the lock — bare += loses updates across threads.
+        # counters and the LRU reordering need the lock — bare += loses
+        # updates across threads, and eviction must not race a touch.
         self._stats_lock = threading.Lock()
+
+    def _touch(self, cache: dict, key: tuple) -> None:
+        """Move ``key`` to the recently-used end (dicts preserve order)."""
+        try:
+            cache[key] = cache.pop(key)
+        except KeyError:  # evicted between the probe and the touch
+            pass
+
+    def _insert(self, cache: dict, key: tuple, value: int) -> None:
+        """Insert at the recently-used end, evicting the LRU overflow."""
+        cache[key] = value
+        while len(cache) > self.max_entries:
+            cache.pop(next(iter(cache)))
+            self.evictions += 1
 
     def hash_pattern(self, pattern: Pattern) -> int:
         if self.cache:
@@ -236,22 +270,24 @@ class PatternHasher:
             if cached is not None:
                 with self._stats_lock:
                     self.hits += 1
+                    self._touch(self._raw_cache, raw_key)
                 return cached
         normalized, _ = pattern.sorted_by_label_degree()
         key = (normalized.labels, normalized.bits, normalized.edge_labels)
         if self.cache:
             cached = self._cache.get(key)
             if cached is not None:
-                self._raw_cache[raw_key] = cached
                 with self._stats_lock:
                     self.hits += 1
+                    self._touch(self._cache, key)
+                    self._insert(self._raw_cache, raw_key, cached)
                 return cached
+        value = eigen_hash(pattern)
         with self._stats_lock:
             self.misses += 1
-        value = eigen_hash(pattern)
-        self._cache[key] = value
-        if self.cache:
-            self._raw_cache[raw_key] = value
+            self._insert(self._cache, key, value)
+            if self.cache:
+                self._insert(self._raw_cache, raw_key, value)
         self._representatives.setdefault(value, normalized)
         return value
 

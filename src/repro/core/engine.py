@@ -91,6 +91,18 @@ def aggregate_part(
 class KaleidoEngine:
     """Configurable two-phase graph mining engine.
 
+    An engine is a reusable *session* over one graph: construct it once
+    and call :meth:`run` many times.  Everything expensive survives
+    between runs — the executor's worker pool, the pattern-hash caches,
+    the graph's derived structures (adjacency views, and the edge index
+    built lazily on the first edge-induced run) — so a long-running
+    caller (the service tier) pays the setup cost once per session, not
+    once per query.  Runs on one engine must be serialized by the
+    caller; for concurrent queries, give each its own engine and share
+    the executor instance and the hasher across them (both are
+    thread-safe), which is exactly what
+    :class:`repro.service.MiningService` does.
+
     Parameters
     ----------
     graph:
@@ -242,6 +254,10 @@ class KaleidoEngine:
         self.sanitize = sanitize
         #: Active PartPuritySanitizer while a sanitized run is in flight.
         self._sanitizer = None
+        #: Lazily built EdgeIndex, shared across this session's runs.
+        self._edge_index: EdgeIndex | None = None
+        #: How many runs this session has completed.
+        self.runs_completed = 0
         self.checkpoint_every = checkpoint_every
         self.on_checkpoint = on_checkpoint
         self._checkpoints: RunCheckpoint | None = None
@@ -252,14 +268,29 @@ class KaleidoEngine:
             self._checkpoints.collect_garbage()
 
     # ------------------------------------------------------------------
-    def run(self, app: MiningApplication, resume: bool = False) -> MiningResult:
+    def run(
+        self,
+        app: MiningApplication,
+        resume: bool = False,
+        max_embeddings: "int | None" = -1,
+    ) -> MiningResult:
         """Run one application start to finish and report costs.
+
+        An engine may run many applications back to back; session state
+        (worker pools, hash caches, the edge index) is reused, and
+        per-run measurements accumulate into ``self.metrics`` (counters
+        sum across runs — the useful reading for repeated-run callers).
 
         With ``resume=True`` (requires ``checkpoint_dir``), the run
         restarts from the deepest valid mid-run checkpoint instead of
         from scratch; an empty or absent checkpoint directory simply
         starts over.  The resumed run produces the same final pattern
         map as an uninterrupted one.
+
+        ``max_embeddings`` overrides the engine-wide exploration guard
+        for this run only (``None`` lifts it) — the service tier threads
+        each query's budget through here.  The default sentinel ``-1``
+        keeps the engine's configured guard.
 
         The run is recorded on ``self.tracer`` as one ``run`` span with
         nested ``level → {plan, execute, aggregate} → part`` children,
@@ -273,12 +304,17 @@ class KaleidoEngine:
         else:
             sanitizer = None
         self._sanitizer = sanitizer
+        guard_before = self.planner.max_embeddings
+        if max_embeddings != -1:
+            self.planner.max_embeddings = max_embeddings
         try:
             with sanitizer if sanitizer is not None else nullcontext():
                 with self.tracer.span("run", app=app.name, graph=self.graph.name):
                     result = self._run(app, resume)
         finally:
             self._sanitizer = None
+            self.planner.max_embeddings = guard_before
+        self.runs_completed += 1
         absorb_engine(self.metrics, self)
         return result
 
@@ -300,7 +336,11 @@ class KaleidoEngine:
         ctx = EngineContext(graph=self.graph, engine=self)
         self.meter.set("graph", self.graph.nbytes)
         if app.induced == "edge":
-            ctx.edge_index = EdgeIndex(self.graph)
+            # Session reuse: the edge index is a pure function of the
+            # graph, so build it once and share it across runs.
+            if self._edge_index is None:
+                self._edge_index = EdgeIndex(self.graph)
+            ctx.edge_index = self._edge_index
             self.meter.set("edge_index", ctx.edge_index.nbytes)
         elif app.induced != "vertex":
             raise ValueError(f"unknown induced mode {app.induced!r}")

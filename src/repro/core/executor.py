@@ -206,6 +206,18 @@ class ThreadedExecutor(PartExecutor):
     completion, and the final report is re-ordered by part index.  The
     schedule holds the measured wall-clock intervals, with each pool thread
     mapped to a stable worker slot.
+
+    The worker pool *persists across* ``run`` calls (matching
+    :class:`ProcessExecutor`'s pool-reuse semantics): it is created
+    lazily on the first run and only released by :meth:`close` — per-run
+    pool spin-up is pure overhead once an executor serves many runs, as
+    under the service tier's shared-pool model.  With ``max_workers``
+    set the pool size is pinned (the shared-pool configuration: several
+    engines may run concurrently over the one pool, and ``submit`` is
+    thread-safe); without it the pool is sized to each run's ``workers``
+    and transparently rebuilt when an *idle* executor is asked for a
+    different size.  A failing run cancels only its own queued parts —
+    the pool survives for concurrent and future runs.
     """
 
     name = "threads"
@@ -214,6 +226,57 @@ class ThreadedExecutor(PartExecutor):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
+        self._pool: _futures.ThreadPoolExecutor | None = None
+        self._pool_size = 0
+        self._active_runs = 0
+        self._pool_lock = threading.Lock()
+
+    @property
+    def pool_size(self) -> int:
+        """Current pool capacity (0 before first use / after close)."""
+        return self._pool_size
+
+    def _acquire_pool(self, pool_size: int) -> tuple[_futures.ThreadPoolExecutor, int]:
+        """Get the persistent pool, (re)building it when allowed.
+
+        A size mismatch only rebuilds when no other run is in flight and
+        the size is not pinned; otherwise the existing pool is shared
+        as-is (capacity is a resource bound, not a correctness knob).
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = _futures.ThreadPoolExecutor(
+                    max_workers=pool_size, thread_name_prefix="kaleido-part"
+                )
+                self._pool_size = pool_size
+            elif (
+                self.max_workers is None
+                and pool_size != self._pool_size
+                and self._active_runs == 0
+            ):
+                self._pool.shutdown(wait=True)
+                self._pool = _futures.ThreadPoolExecutor(
+                    max_workers=pool_size, thread_name_prefix="kaleido-part"
+                )
+                self._pool_size = pool_size
+            self._active_runs += 1
+            return self._pool, self._pool_size
+
+    def _release_pool(self) -> None:
+        with self._pool_lock:
+            self._active_runs -= 1
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent).
+
+        Must not be called while a run is in flight; a later ``run``
+        lazily builds a fresh pool, so a closed executor remains usable.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+                self._pool_size = 0
 
     def run(
         self,
@@ -223,7 +286,7 @@ class ThreadedExecutor(PartExecutor):
         tracer: "Tracer | None" = None,
         phase: str = "execute",
     ) -> ExecutionReport:
-        pool_size = self.max_workers if self.max_workers is not None else max(1, workers)
+        requested = self.max_workers if self.max_workers is not None else max(1, workers)
         base = tracer.now() if tracer is not None and tracer.enabled else 0.0
         epoch = time.perf_counter()
 
@@ -233,6 +296,8 @@ class ThreadedExecutor(PartExecutor):
             ended = time.perf_counter()
             return index, result, started - epoch, ended - epoch, threading.get_ident()
 
+        pool, pool_size = self._acquire_pool(requested)
+
         # Bounded in-flight window: the task iterable decodes a part's
         # embeddings lazily as it is pulled, so submitting everything up
         # front would materialise the whole level (defeating the spilled
@@ -241,34 +306,36 @@ class ThreadedExecutor(PartExecutor):
         window = 2 * pool_size
         task_iter = enumerate(tasks)
         records: dict[int, tuple[Any, float, float, int]] = {}
-        with _futures.ThreadPoolExecutor(
-            max_workers=pool_size, thread_name_prefix="kaleido-part"
-        ) as pool:
 
-            def fill(pending: set) -> None:
-                while len(pending) < window:
-                    try:
-                        index, task = next(task_iter)
-                    except StopIteration:
-                        return
-                    pending.add(pool.submit(timed, index, task))
+        def fill(pending: set) -> None:
+            while len(pending) < window:
+                try:
+                    index, task = next(task_iter)
+                except StopIteration:
+                    return
+                pending.add(pool.submit(timed, index, task))
 
-            pending: set = set()
-            try:
+        pending: set = set()
+        try:
+            fill(pending)
+            while pending:
+                done, pending = _futures.wait(
+                    pending, return_when=_futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    index, result, started, ended, ident = future.result()
+                    records[index] = (result, started, ended, ident)
+                    if on_result is not None:
+                        on_result(index, result)
                 fill(pending)
-                while pending:
-                    done, pending = _futures.wait(
-                        pending, return_when=_futures.FIRST_COMPLETED
-                    )
-                    for future in done:
-                        index, result, started, ended, ident = future.result()
-                        records[index] = (result, started, ended, ident)
-                        if on_result is not None:
-                            on_result(index, result)
-                    fill(pending)
-            except BaseException:
-                pool.shutdown(wait=True, cancel_futures=True)
-                raise
+        except BaseException:
+            # Cancel only this run's queued parts; the shared pool and
+            # any concurrent runs on it stay healthy.
+            for future in pending:
+                future.cancel()
+            raise
+        finally:
+            self._release_pool()
 
         report = ExecutionReport(schedule=Schedule(num_workers=pool_size))
         slots: dict[int, int] = {}

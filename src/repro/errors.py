@@ -81,3 +81,26 @@ class PartPurityError(KaleidoError):
 
 class UnknownDatasetError(KaleidoError):
     """A dataset name was not found in the registry."""
+
+
+class ServiceError(KaleidoError):
+    """Base class for errors raised by the mining service tier."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's admission quota rejected a query.
+
+    Raised at submission time, before any mining work starts, when the
+    tenant already has ``max_concurrent`` queries in flight.  Retrying
+    after in-flight queries drain is safe; nothing was partially run.
+    """
+
+
+class QueryRejectedError(ServiceError):
+    """A query's cost estimate exceeded its budget and could not degrade.
+
+    The router only degrades to the approximate path when the budget
+    allows it *and* the application has an approximate mode; otherwise
+    the query is refused up front rather than started and aborted
+    mid-run by the ``max_embeddings`` guard.
+    """

@@ -13,6 +13,7 @@ vertex labels.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -51,6 +52,7 @@ class Graph:
         "_edge_label_map",
         "_adjacency_sets",
         "_adjacency_keys",
+        "_fingerprint",
         "name",
     )
 
@@ -85,6 +87,7 @@ class Graph:
         self._edge_label_map: dict[tuple[int, int], int] | None = None
         self._adjacency_sets: list[frozenset[int]] | None = None
         self._adjacency_keys: np.ndarray | None = None
+        self._fingerprint: str | None = None
         if edge_labels is not None:
             edge_labels = np.ascontiguousarray(edge_labels, dtype=np.int32)
             if edge_labels.shape[0] != indices.shape[0] // 2:
@@ -138,6 +141,49 @@ class Graph:
         if self.num_vertices <= np.iinfo(np.int32).max:
             return np.dtype(np.int32)
         return np.dtype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content digest of the graph: stable across reloads of the
+        same data, different for any topology/label difference.
+
+        A BLAKE2b digest over the CSR arrays, the vertex labels and the
+        edge labels (when present) — deliberately *not* over ``name``,
+        so reloading the same file under another name still hits the
+        same service cache entries.  Computed lazily and cached; code
+        that mutates the backing arrays in place must call
+        :meth:`invalidate_caches` afterwards, which is exactly how the
+        service tier's result cache is invalidated on mutation.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.int64(self.num_vertices).tobytes())
+            digest.update(self.indptr.tobytes())
+            digest.update(self.indices.tobytes())
+            digest.update(self.labels.tobytes())
+            if self.edge_labels is not None:
+                digest.update(b"elabels")
+                digest.update(self.edge_labels.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def invalidate_caches(self) -> None:
+        """Drop every lazily derived structure (fingerprint included).
+
+        The CSR arrays are nominally immutable, but numpy cannot enforce
+        that; callers that do mutate them in place (relabeling an array
+        slice, experiment plumbing) must call this so the fingerprint,
+        edge arrays and adjacency caches are rebuilt from the new
+        contents instead of serving stale views.
+        """
+        self._fingerprint = None
+        self._edge_u = None
+        self._edge_v = None
+        self._edge_label_map = None
+        self._adjacency_sets = None
+        self._adjacency_keys = None
 
     # ------------------------------------------------------------------
     # Topology queries

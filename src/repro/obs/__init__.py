@@ -28,7 +28,7 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsView
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -49,6 +49,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsView",
     "absorb_engine",
     "absorb_io_stats",
     "absorb_memory_meter",

@@ -68,6 +68,9 @@ def absorb_hasher(
         return
     registry.counter(f"{prefix}.hits").inc(int(hits))
     registry.counter(f"{prefix}.misses").inc(int(misses))
+    evictions = getattr(hasher, "evictions", None)
+    if evictions is not None:
+        registry.counter(f"{prefix}.evictions").inc(int(evictions))
     if hasattr(hasher, "__len__"):
         registry.gauge(f"{prefix}.cache_entries").set(len(hasher))  # type: ignore[arg-type]
 

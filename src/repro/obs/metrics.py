@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsView"]
 
 
 class Counter:
@@ -187,6 +187,20 @@ class MetricsRegistry:
             items = list(self._instruments.items())
         return {name: inst.snapshot() for name, inst in sorted(items)}
 
+    def view(self, prefix: str) -> "MetricsView":
+        """A prefix-scoped view of this registry.
+
+        ``registry.view("tenant.acme").counter("queries")`` reads and
+        writes the same instrument as
+        ``registry.counter("tenant.acme.queries")`` — the view holds no
+        instruments of its own, it only namespaces names.  This is how
+        the service tier keeps per-tenant metrics isolated without a
+        registry per tenant (one snapshot still shows everything).
+        """
+        if not prefix:
+            raise ValueError("view prefix must be non-empty")
+        return MetricsView(self, prefix)
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in, instrument by instrument.
 
@@ -204,3 +218,47 @@ class MetricsRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._instruments)
+
+
+class MetricsView:
+    """A dotted-prefix window onto a :class:`MetricsRegistry`.
+
+    Every instrument accessor prepends the view's prefix, so code handed
+    a view cannot write outside its namespace — the service gives each
+    tenant's accounting a ``tenant.<name>`` view and the shared registry
+    stays the single source of truth.  Views nest (``view("a").view("b")``
+    is ``view("a.b")``) and snapshot only their own subtree.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._name(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._name(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(self._name(name))
+
+    def view(self, prefix: str) -> "MetricsView":
+        return self._registry.view(self._name(prefix))
+
+    def names(self) -> list[str]:
+        """Fully qualified names under this view's prefix."""
+        marker = self.prefix + "."
+        return [name for name in self._registry.names() if name.startswith(marker)]
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """This subtree's snapshot, keyed *relative* to the prefix."""
+        marker = self.prefix + "."
+        return {
+            name[len(marker):]: snap
+            for name, snap in self._registry.snapshot().items()
+            if name.startswith(marker)
+        }

@@ -76,8 +76,11 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> None:
-        return None
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def annotate(self, **args: Any) -> None:
+        pass
 
     def __exit__(self, *exc_info: object) -> bool:
         return False
@@ -100,6 +103,46 @@ class _Span:
 
     def __exit__(self, *exc_info: object) -> bool:
         self._tracer.end(self._name)
+        return False
+
+
+class _TrackSpan:
+    """Context manager produced by :meth:`Tracer.track_span`.
+
+    Measures its enclosed block on the tracer's clock and records one
+    *complete* span on an explicit track when the block exits — the
+    per-request timeline primitive: a service query spans several
+    coordinator and pool threads, so a thread-keyed stack span cannot
+    represent it, but a dedicated ``request-N`` track can.
+    """
+
+    __slots__ = ("_tracer", "_name", "_track", "_args", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, track: int | str, args: dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._track = track
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_TrackSpan":
+        self._start = self._tracer.now()
+        return self
+
+    def annotate(self, **args: Any) -> None:
+        """Attach more args before the span is recorded (route, status)."""
+        self._args.update(args)
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer.complete(
+            self._name,
+            start=self._start,
+            end=self._tracer.now(),
+            track=self._track,
+            **self._args,
+        )
         return False
 
 
@@ -174,6 +217,19 @@ class Tracer:
         """Context manager: ``begin`` on entry, matching ``end`` on exit."""
         self.begin(name, **args)
         return _Span(self, name)
+
+    def track_span(self, name: str, track: int | str, **args: Any) -> _TrackSpan:
+        """Context manager: record the block as one complete span on
+        ``track`` (e.g. ``request-7``) when it exits.
+
+        Unlike :meth:`span`, the recorded span lives on an explicit
+        track rather than the calling thread's stack, so work that hops
+        threads — a service request moving from admission to an engine
+        session to the executor pool — still reads as one timeline row.
+        Call ``annotate(**args)`` on the returned object to attach facts
+        discovered mid-flight (the chosen route, the cache outcome).
+        """
+        return _TrackSpan(self, name, track, dict(args))
 
     def instant(self, name: str, **args: Any) -> None:
         """Record a point-in-time event (spill, retry, checkpoint, ...)."""
@@ -254,6 +310,9 @@ class NullTracer:
         pass
 
     def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def track_span(self, name: str, track: int | str, **args: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def instant(self, name: str, **args: Any) -> None:

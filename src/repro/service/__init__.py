@@ -1,0 +1,53 @@
+"""Mining-as-a-service: the multi-tenant query tier.
+
+A long-running :class:`MiningService` multiplexes concurrent
+:class:`QueryRequest`s over one shared executor pool and one shared
+pattern-hash cache, with per-tenant admission control
+(:class:`TenantQuota`), a content-keyed :class:`ResultCache` and
+GREEN / YELLOW / RED complexity routing: cache hits are served
+instantly, interactive queries ride the sampling estimator, and only
+genuinely heavy queries get a full out-of-core engine run on a warm
+session.  :mod:`repro.service.protocol` speaks line-delimited JSON for
+the ``repro serve`` / ``repro query`` CLI front end.
+"""
+
+from .cache import CachedAnswer, CacheKey, ResultCache
+from .protocol import ServiceServer, handle_payload, parse_request, serve_stream
+from .request import (
+    APP_NAMES,
+    APPROXIMABLE_APPS,
+    QueryBudget,
+    QueryRequest,
+    QueryResult,
+    Route,
+    build_app,
+)
+from .router import ComplexityRouter, RouteDecision, estimate_embeddings
+from .service import MiningService
+from .sessions import EngineSession, SessionPool
+from .tenants import TenantQuota, TenantRegistry
+
+__all__ = [
+    "APP_NAMES",
+    "APPROXIMABLE_APPS",
+    "CacheKey",
+    "CachedAnswer",
+    "ComplexityRouter",
+    "EngineSession",
+    "MiningService",
+    "QueryBudget",
+    "QueryRequest",
+    "QueryResult",
+    "ResultCache",
+    "Route",
+    "RouteDecision",
+    "ServiceServer",
+    "SessionPool",
+    "TenantQuota",
+    "TenantRegistry",
+    "build_app",
+    "estimate_embeddings",
+    "handle_payload",
+    "parse_request",
+    "serve_stream",
+]

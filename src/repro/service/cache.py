@@ -1,0 +1,95 @@
+"""The service result cache: mined answers keyed by content identity.
+
+Keys are ``(graph fingerprint, app, k, canonical params)``.  Because the
+fingerprint is a digest of the graph's *contents*
+(:meth:`repro.graph.graph.Graph.fingerprint`), the cache survives
+process restarts of the data (reloading the same file yields the same
+key) and invalidates structurally: a mutated or relabeled graph has a
+different fingerprint, so its queries simply miss — stale entries for
+the old contents age out of the LRU rather than ever being served for
+the new contents.
+
+Thread-safe; a single lock guards the ordered map (entries are small —
+pattern maps, not embeddings — and hits are O(1), so contention is not a
+concern at service scale).  Hits, misses, evictions and the live entry
+count are reported through the ``service.cache.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["CacheKey", "CachedAnswer", "ResultCache"]
+
+#: ``(graph fingerprint, app name, k, canonical params tuple)``.
+CacheKey = tuple[str, str, int, tuple]
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """The reusable part of a query's answer."""
+
+    value: Any
+    pattern_map: dict[int, Any]
+    route: str
+    error_bars: dict[int, float] | None = None
+
+
+class ResultCache:
+    """Bounded LRU map from :data:`CacheKey` to :class:`CachedAnswer`."""
+
+    def __init__(
+        self, max_entries: int = 256, metrics: MetricsRegistry | None = None
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[CacheKey, CachedAnswer] = {}
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = metrics.counter("service.cache.hits")
+        self._misses = metrics.counter("service.cache.misses")
+        self._evictions = metrics.counter("service.cache.evictions")
+        self._size = metrics.gauge("service.cache.entries")
+
+    def get(self, key: CacheKey) -> CachedAnswer | None:
+        with self._lock:
+            answer = self._entries.get(key)
+            if answer is None:
+                self._misses.inc()
+                return None
+            # LRU touch: re-insert at the recently-used end.
+            self._entries[key] = self._entries.pop(key)
+            self._hits.inc()
+            return answer
+
+    def put(self, key: CacheKey, answer: CachedAnswer) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = answer
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                self._evictions.inc()
+            self._size.set(len(self._entries))
+
+    def invalidate_graph(self, fingerprint: str) -> int:
+        """Drop every entry for one graph fingerprint (explicit flush).
+
+        Content-keyed caching makes this optional — a changed graph
+        changes its fingerprint and misses naturally — but operators
+        replacing a dataset in place can reclaim the space eagerly.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == fingerprint]
+            for key in doomed:
+                del self._entries[key]
+            self._size.set(len(self._entries))
+            return len(doomed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,205 @@
+"""Line-delimited JSON protocol for ``repro serve`` / ``repro query``.
+
+One request per line, one response per line, always valid JSON.  The
+same handler backs both transports: the stdin/stdout stream the CLI
+speaks and a small threaded TCP server (one thread per connection, so
+concurrent clients exercise the service's real multiplexing).
+
+Request shape (``op`` defaults to ``"query"``)::
+
+    {"op": "query", "app": "motif", "k": 3, "dataset": "citeseer",
+     "tenant": "alice", "mode": "exact",
+     "budget": {"max_embeddings": 100000, "allow_degraded": true},
+     "params": {"samples": 500}}
+
+Other ops: ``stats`` (service snapshot), ``quota`` (set a tenant
+quota), ``invalidate`` (flush a dataset's cached answers), ``ping``
+and ``shutdown`` (stop the stream loop after responding).
+
+Error responses carry the *typed* error class name::
+
+    {"id": 7, "status": "error", "error": "QuotaExceededError",
+     "message": "tenant 'alice' already has 2 queries in flight ..."}
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Iterable, Mapping, TextIO
+
+from ..errors import KaleidoError
+from .request import QueryBudget, QueryRequest
+from .service import MiningService
+from .tenants import TenantQuota
+
+__all__ = [
+    "parse_request",
+    "handle_payload",
+    "serve_stream",
+    "ServiceServer",
+    "request_over_socket",
+]
+
+
+def parse_request(payload: Mapping[str, Any]) -> QueryRequest:
+    """Build a :class:`QueryRequest` from one decoded JSON payload."""
+    if "app" not in payload:
+        raise ValueError("query payload needs an 'app' field")
+    budget = payload.get("budget")
+    return QueryRequest(
+        app=str(payload["app"]),
+        k=int(payload.get("k", 3)),
+        params=dict(payload.get("params", {})),
+        dataset=payload.get("dataset"),
+        profile=str(payload.get("profile", "bench")),
+        tenant=str(payload.get("tenant", "default")),
+        budget=QueryBudget.from_json(budget) if budget is not None else None,
+        mode=str(payload.get("mode", "exact")),
+    )
+
+
+def handle_payload(service: MiningService, payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Serve one decoded request payload; never raises for user errors.
+
+    Protocol-level failures (bad JSON shape, unknown app, quota or
+    budget refusals, engine errors) become ``status: "error"``
+    responses carrying the typed error class name, so one tenant's bad
+    request can never tear down the stream.
+    """
+    request_id = payload.get("id")
+    op = str(payload.get("op", "query"))
+    try:
+        if op == "query":
+            response = service.query(parse_request(payload)).to_json()
+        elif op == "stats":
+            response = {"status": "ok", "op": "stats", "stats": service.stats()}
+        elif op == "quota":
+            quota = TenantQuota(
+                max_concurrent=int(payload.get("max_concurrent", 4)),
+                max_embeddings=payload.get("max_embeddings"),
+            )
+            service.set_quota(str(payload["tenant"]), quota)
+            response = {"status": "ok", "op": "quota", "tenant": payload["tenant"]}
+        elif op == "invalidate":
+            request = parse_request({**payload, "op": "query"})
+            graph = service.resolve_graph(request)
+            dropped = service.invalidate_graph(graph)
+            response = {"status": "ok", "op": "invalidate", "dropped": dropped}
+        elif op == "ping":
+            response = {"status": "ok", "op": "ping"}
+        elif op == "shutdown":
+            response = {"status": "ok", "op": "shutdown"}
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    except (KaleidoError, ValueError, KeyError, TypeError) as exc:
+        response = {
+            "status": "error",
+            "error": type(exc).__name__,
+            "message": str(exc),
+        }
+    if request_id is not None:
+        response["id"] = request_id
+    response.setdefault("op", op)
+    return response
+
+
+def serve_stream(
+    service: MiningService, lines: Iterable[str], out: TextIO
+) -> int:
+    """Drive the service from a line stream; returns requests served.
+
+    Responses are written in request order (the stream is a single
+    conversation; concurrency comes from multiple connections or
+    in-process :meth:`MiningService.submit`).  Stops at EOF or after a
+    ``shutdown`` op.
+    """
+    served = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:  # includes json.JSONDecodeError
+            payload = None
+            response = {"status": "error", "error": "ValueError", "message": str(exc)}
+        if payload is not None:
+            response = handle_payload(service, payload)
+        out.write(json.dumps(response, sort_keys=True) + "\n")
+        out.flush()
+        served += 1
+        if payload is not None and payload.get("op") == "shutdown":
+            break
+    return served
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via ServiceServer
+        lines = (raw.decode("utf-8") for raw in self.rfile)
+        out = _SocketWriter(self.wfile)
+        serve_stream(self.server.service, lines, out)  # type: ignore[attr-defined]
+
+
+class _SocketWriter:
+    """Minimal text adapter over the handler's binary write file."""
+
+    def __init__(self, wfile: Any) -> None:
+        self._wfile = wfile
+
+    def write(self, text: str) -> None:
+        self._wfile.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self._wfile.flush()
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP front end: one connection, one protocol stream.
+
+    A ``shutdown`` op ends its own connection's stream, not the server;
+    stop the server with :meth:`stop`.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: MiningService, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _ConnectionHandler)
+        self.service = service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def serve_background(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+def request_over_socket(
+    host: str, port: int, payload: Mapping[str, Any], timeout: float = 30.0
+) -> dict[str, Any]:
+    """One-shot client: send one request line, read one response line."""
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        buffer = b""
+        while not buffer.endswith(b"\n"):
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+    decoded = json.loads(buffer.decode("utf-8"))
+    if not isinstance(decoded, dict):
+        raise ValueError("malformed response from service")
+    return decoded

@@ -1,0 +1,119 @@
+"""GREEN / YELLOW / RED complexity routing for the query tier.
+
+Every admitted query is classified before any mining starts:
+
+* **GREEN** — the result cache already holds the answer; serve it
+  instantly.
+* **YELLOW** — the cheap path: the query asked for approximate mode, or
+  its cost estimate exceeds the effective budget and degradation is
+  allowed.  Served by the sampling estimator
+  (:mod:`repro.apps.approximate`) at interactive latency.
+* **RED** — a full out-of-core engine run on a session from the pool.
+
+The cost estimate is deliberately crude — seed count times average
+branching per exploration level — because it only has to be *monotone
+enough* to keep obviously-over-budget queries off the engine pool; the
+engine's own ``max_embeddings`` guard (threaded from the same budget)
+is the precise backstop for estimates that were too optimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import QueryRejectedError
+from ..graph.graph import Graph
+from ..obs.metrics import MetricsRegistry
+from .request import APPROXIMABLE_APPS, QueryRequest, Route
+
+__all__ = ["RouteDecision", "ComplexityRouter", "estimate_embeddings"]
+
+
+def estimate_embeddings(
+    graph: Graph, app: str, k: int, params: Mapping[str, Any]
+) -> int:
+    """Crude upper-ish estimate of a query's total embedding count.
+
+    Seeds × (average degree)^(levels): vertices seed vertex-induced
+    exploration, edges seed edge-induced, and each exploration iteration
+    multiplies by the average branching factor.  Ignores canonicality
+    pruning (overestimates) and skew (underestimates hubs) — good
+    enough to rank queries against a budget, nothing more.
+    """
+    degree = max(1.0, graph.average_degree)
+    if app == "tc":
+        return int(graph.num_edges * degree)
+    if app == "fsm":
+        levels = max(0, int(params.get("edges", 2)) - 1)
+        return int(graph.num_edges * degree**levels)
+    # motif / clique: vertex-induced, k - 1 expansion iterations.
+    return int(graph.num_vertices * degree ** max(0, k - 1))
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """The router's verdict for one query."""
+
+    route: Route
+    reason: str
+    estimated_embeddings: int | None = None
+    #: True when a RED-shaped query was downgraded to YELLOW by budget.
+    degraded: bool = False
+
+
+class ComplexityRouter:
+    """Classifies queries and accounts the routing mix."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._green = metrics.counter("service.route.green")
+        self._yellow = metrics.counter("service.route.yellow")
+        self._red = metrics.counter("service.route.red")
+        self._degraded = metrics.counter("service.route.degraded")
+        self._rejected = metrics.counter("service.route.rejected")
+
+    def classify(
+        self,
+        request: QueryRequest,
+        graph: Graph,
+        cached: bool,
+        max_embeddings: int | None,
+    ) -> RouteDecision:
+        """Route one query, or refuse it.
+
+        ``max_embeddings`` is the *effective* budget — the query's own
+        cap already clamped by the tenant ceiling.  Raises
+        :class:`QueryRejectedError` for over-budget queries that cannot
+        degrade; every other outcome is a decision, counted under
+        ``service.route.*``.
+        """
+        if cached:
+            self._green.inc()
+            return RouteDecision(Route.GREEN, "result-cache hit")
+        if request.mode == "approximate":
+            self._yellow.inc()
+            return RouteDecision(Route.YELLOW, "approximate mode requested")
+        estimate = estimate_embeddings(graph, request.app, request.k, request.params)
+        if max_embeddings is not None and estimate > max_embeddings:
+            allow = request.budget.allow_degraded if request.budget is not None else True
+            if allow and request.app in APPROXIMABLE_APPS:
+                self._yellow.inc()
+                self._degraded.inc()
+                return RouteDecision(
+                    Route.YELLOW,
+                    f"estimated {estimate:,} embeddings over the "
+                    f"{max_embeddings:,} budget; degraded to sampling",
+                    estimated_embeddings=estimate,
+                    degraded=True,
+                )
+            self._rejected.inc()
+            raise QueryRejectedError(
+                f"estimated {estimate:,} embeddings exceed the "
+                f"{max_embeddings:,} budget and the query cannot degrade "
+                f"(app {request.app!r}, allow_degraded={allow})"
+            )
+        self._red.inc()
+        return RouteDecision(
+            Route.RED, "full out-of-core run", estimated_embeddings=estimate
+        )

@@ -1,0 +1,145 @@
+"""Engine sessions and the per-graph session pool.
+
+A *session* is one :class:`~repro.core.engine.KaleidoEngine` kept warm
+between queries: its executor's worker pool, its pattern-hash caches and
+the graph's derived structures (adjacency views, the lazily built edge
+index) all survive from run to run.  Runs on one engine must be
+serialized, so each session carries a lock and the pool hands a session
+to exactly one query at a time.
+
+The pool is keyed by graph *fingerprint* (content identity, not object
+identity): queries over the same data share warm sessions even when the
+graph was reloaded.  Up to ``max_sessions_per_graph`` sessions exist per
+graph so concurrent queries mine in parallel; past the cap, acquirers
+block on a condition variable until a session frees.  All sessions share
+one caller-supplied executor and one hasher (both thread-safe), which is
+how N concurrent queries multiplex over a single worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from ..core.engine import KaleidoEngine
+from ..graph.graph import Graph
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["EngineSession", "SessionPool"]
+
+
+class EngineSession:
+    """One warm engine plus the lock that serializes its runs."""
+
+    def __init__(self, graph: Graph, engine: KaleidoEngine) -> None:
+        self.graph = graph
+        self.engine = engine
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        return self._lock.acquire(blocking=False)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    @property
+    def runs_completed(self) -> int:
+        return self.engine.runs_completed
+
+    def close(self) -> None:
+        self.engine.close()
+
+
+class SessionPool:
+    """Bounded pool of warm engine sessions, keyed by graph fingerprint."""
+
+    def __init__(
+        self,
+        engine_factory: Callable[[Graph], KaleidoEngine],
+        max_sessions_per_graph: int = 4,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_sessions_per_graph < 1:
+            raise ValueError("max_sessions_per_graph must be positive")
+        self._engine_factory = engine_factory
+        self.max_sessions_per_graph = max_sessions_per_graph
+        self._cond = threading.Condition()
+        self._sessions: dict[str, list[EngineSession]] = {}
+        self._closed = False
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._created = metrics.counter("service.sessions.created")
+        self._reused = metrics.counter("service.sessions.reused")
+        self._live = metrics.gauge("service.sessions.live")
+
+    @contextmanager
+    def session(self, graph: Graph) -> Iterator[EngineSession]:
+        """Borrow a session for ``graph``, blocking at the per-graph cap."""
+        acquired = self._acquire(graph)
+        try:
+            yield acquired
+        finally:
+            self._release(acquired)
+
+    def _acquire(self, graph: Graph) -> EngineSession:
+        fingerprint = graph.fingerprint()
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise RuntimeError("session pool is closed")
+                sessions = self._sessions.setdefault(fingerprint, [])
+                for candidate in sessions:
+                    if candidate.try_acquire():
+                        self._reused.inc()
+                        return candidate
+                if len(sessions) < self.max_sessions_per_graph:
+                    session = EngineSession(graph, self._engine_factory(graph))
+                    session.try_acquire()
+                    sessions.append(session)
+                    self._created.inc()
+                    self._live.set(self._total_locked())
+                    return session
+                self._cond.wait()
+
+    def _release(self, session: EngineSession) -> None:
+        with self._cond:
+            session.release()
+            self._cond.notify()
+
+    def _total_locked(self) -> int:
+        return sum(len(sessions) for sessions in self._sessions.values())
+
+    def drop_graph(self, fingerprint: str) -> int:
+        """Close and forget every idle session for one fingerprint.
+
+        A busy session (query in flight) is left to its borrower and
+        simply forgotten here; its engine closes when the pool does not
+        know it any more and the run finishes.  Returns the number of
+        sessions dropped.
+        """
+        with self._cond:
+            doomed = self._sessions.pop(fingerprint, [])
+            self._live.set(self._total_locked())
+            self._cond.notify_all()
+        closed = 0
+        for session in doomed:
+            if session.try_acquire():
+                session.close()
+                session.release()
+                closed += 1
+        return len(doomed)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._total_locked()
+
+    def close(self) -> None:
+        """Close every session's engine (idempotent)."""
+        with self._cond:
+            self._closed = True
+            doomed = [s for sessions in self._sessions.values() for s in sessions]
+            self._sessions.clear()
+            self._live.set(0)
+            self._cond.notify_all()
+        for session in doomed:
+            session.close()

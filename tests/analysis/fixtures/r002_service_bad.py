@@ -1,0 +1,29 @@
+"""R002 fixture, service-flavoured: a query tier leaking entropy (4 hits).
+
+Request ids, cache stamps and sampling seeds drawn from wall clock or
+process entropy make a served answer unreproducible — the exact hazard
+R002's service/ scope exists to catch.
+"""
+
+import time
+import uuid
+
+
+def next_request_id():
+    return uuid.uuid4()  # hit 1: entropy-based request id
+
+
+def stamp_cache_entry(entry):
+    entry["cached_at"] = time.time()  # hit 2: wall clock in a cache key path
+    return entry
+
+
+def pick_sampling_seed():
+    return time.time_ns()  # hit 3: seed from the wall clock
+
+
+def drain_tenants(inflight):
+    order = []
+    for tenant in set(inflight):  # hit 4: hash-order tenant iteration
+        order.append(tenant)
+    return order

@@ -1,0 +1,27 @@
+"""R002 fixture, service-flavoured: deterministic equivalents (0 hits)."""
+
+import itertools
+import time
+
+_IDS = itertools.count(1)
+
+
+def next_request_id():
+    return next(_IDS)  # monotone counter, not entropy
+
+
+def measure(serve):
+    start = time.perf_counter()  # measures work; legal under R002
+    result = serve()
+    return result, time.perf_counter() - start
+
+
+def pick_sampling_seed(request):
+    return int(request.get("seed", 0))  # seed travels with the request
+
+
+def drain_tenants(inflight):
+    order = []
+    for tenant in sorted(inflight):  # deterministic order
+        order.append(tenant)
+    return order

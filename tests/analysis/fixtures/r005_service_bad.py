@@ -1,0 +1,27 @@
+"""R005 fixture, service-flavoured: swallowed tenant failures (3 hits).
+
+A query tier that eats engine errors serves wrong answers with a 200:
+the tenant sees an empty pattern map, not the failure.
+"""
+
+
+def serve_query(service, request):
+    try:
+        return service.query(request)
+    except:  # hit 1: bare except around the whole query path
+        return {"patterns": {}}
+
+
+def run_engine(session, app):
+    try:
+        return session.engine.run(app)
+    except Exception:  # hit 2: engine failure swallowed
+        return None
+
+
+def release_tenant(tenants, tenant):
+    try:
+        tenants.release(tenant)
+    except (KeyError, BaseException):  # hit 3: catch-all hiding in a tuple
+        return False
+    return True

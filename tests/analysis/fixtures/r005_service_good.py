@@ -1,0 +1,20 @@
+"""R005 fixture, service-flavoured: typed, re-raised failures (0 hits)."""
+
+
+class ServiceError(Exception):
+    pass
+
+
+def serve_query(service, request, metrics):
+    try:
+        return service.query(request)
+    except ValueError as exc:  # specific: legal
+        raise ServiceError(f"malformed request: {exc}") from exc
+
+
+def run_engine(session, app, metrics):
+    try:
+        return session.engine.run(app)
+    except Exception as exc:  # catch-all, but accounted and re-raised: legal
+        metrics.counter("service.failed").inc()
+        raise

@@ -34,6 +34,30 @@ def test_rule_silent_on_good_fixture(rule):
     assert diagnostics == []
 
 
+#: service-flavoured fixtures for the rules whose scope covers service/.
+EXPECTED_SERVICE_BAD_HITS = {
+    "R002": 4,
+    "R005": 3,
+}
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED_SERVICE_BAD_HITS))
+def test_rule_fires_on_service_bad_fixture(rule):
+    diagnostics = lint_file(
+        FIXTURES / f"{rule.lower()}_service_bad.py", select=[rule]
+    )
+    assert len(diagnostics) == EXPECTED_SERVICE_BAD_HITS[rule]
+    assert {diag.rule for diag in diagnostics} == {rule}
+
+
+@pytest.mark.parametrize("rule", sorted(EXPECTED_SERVICE_BAD_HITS))
+def test_rule_silent_on_service_good_fixture(rule):
+    diagnostics = lint_file(
+        FIXTURES / f"{rule.lower()}_service_good.py", select=[rule]
+    )
+    assert diagnostics == []
+
+
 def test_registry_lists_all_rules():
     assert rule_ids() == ("R001", "R002", "R003", "R004", "R005")
 
@@ -88,9 +112,20 @@ def test_unknown_select_raises():
 
 
 def test_scoping_limits_rules_without_select():
-    # R005 is scoped to storage/: the same code is clean in core/.
+    # R005 is scoped to storage/ and service/: the same code is clean
+    # in core/.
     source = "try:\n    pass\nexcept Exception:\n    pass\n"
     storage = lint_source(source, path="src/repro/storage/thing.py")
+    service = lint_source(source, path="src/repro/service/thing.py")
     core = lint_source(source, path="src/repro/core/thing.py")
     assert [diag.rule for diag in storage] == ["R005"]
+    assert [diag.rule for diag in service] == ["R005"]
     assert core == []
+
+
+def test_r002_scope_covers_service():
+    source = "import time\ndef f():\n    return time.time()\n"
+    service = lint_source(source, path="src/repro/service/thing.py")
+    obs = lint_source(source, path="src/repro/obs/thing.py")
+    assert [diag.rule for diag in service] == ["R002"]
+    assert obs == []

@@ -1,0 +1,67 @@
+"""PatternHasher's bounded caches: LRU eviction and accounting."""
+
+from repro.core import Pattern
+from repro.core.eigenhash import PatternHasher
+
+
+def chain(n, label=0):
+    """An n-vertex path pattern (distinct structure per n)."""
+    adjacency = [[0] * n for _ in range(n)]
+    for i in range(n - 1):
+        adjacency[i][i + 1] = adjacency[i + 1][i] = 1
+    return Pattern.from_adjacency([label] * n, adjacency)
+
+
+def test_default_capacity_is_large():
+    hasher = PatternHasher()
+    assert hasher.max_entries == PatternHasher.DEFAULT_MAX_ENTRIES
+    assert hasher.evictions == 0
+
+
+def test_eviction_counter_and_bound():
+    hasher = PatternHasher(max_entries=2)
+    for n in range(2, 7):
+        hasher.hash_pattern(chain(n))
+    assert len(hasher) <= 2
+    assert hasher.evictions > 0
+
+
+def test_evicted_pattern_rehashes_to_same_value():
+    hasher = PatternHasher(max_entries=2)
+    first = hasher.hash_pattern(chain(3))
+    for n in range(4, 8):  # push the 3-chain out of the cache
+        hasher.hash_pattern(chain(n))
+    again = hasher.hash_pattern(chain(3))
+    assert again == first
+
+
+def test_lru_touch_protects_hot_entries():
+    hasher = PatternHasher(max_entries=2)
+    hot = chain(3)
+    hasher.hash_pattern(hot)
+    hasher.hash_pattern(chain(4))
+    hasher.hash_pattern(hot)  # touch: 4-chain is now the LRU entry
+    hasher.hash_pattern(chain(5))  # evicts the 4-chain, not the 3-chain
+    hits_before = hasher.hits
+    hasher.hash_pattern(hot)
+    assert hasher.hits == hits_before + 1
+
+
+def test_none_means_default_capacity():
+    hasher = PatternHasher(max_entries=None)
+    assert hasher.max_entries == PatternHasher.DEFAULT_MAX_ENTRIES
+    for label in range(10):
+        hasher.hash_pattern(chain(4, label))
+    assert hasher.evictions == 0
+    assert len(hasher) == 10
+
+
+def test_stats_survive_eviction():
+    hasher = PatternHasher(max_entries=2)
+    hasher.hash_pattern(chain(3))
+    hasher.hash_pattern(chain(3))
+    hasher.hash_pattern(chain(4))
+    hasher.hash_pattern(chain(5))
+    assert hasher.misses == 3
+    assert hasher.hits == 1
+    assert 0.0 < hasher.hit_rate < 1.0

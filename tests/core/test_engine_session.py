@@ -1,0 +1,70 @@
+"""KaleidoEngine as a reusable session: repeat runs, shared resources."""
+
+import pytest
+
+from repro.apps import MotifCounting, TriangleCounting
+from repro.core.engine import KaleidoEngine
+from repro.core.eigenhash import PatternHasher
+from repro.core.executor import ThreadedExecutor
+from repro.errors import PlanError
+
+
+def test_run_many_times_same_results(paper_graph):
+    engine = KaleidoEngine(paper_graph)
+    first = engine.run(TriangleCounting())
+    second = engine.run(TriangleCounting())
+    third = engine.run(MotifCounting(3))
+    assert dict(first.pattern_map) == dict(second.pattern_map)
+    assert engine.runs_completed == 3
+    assert third.value  # a different app on the same session works
+
+
+def test_edge_index_built_once_per_session(paper_graph):
+    from repro.apps import FrequentSubgraphMining
+
+    engine = KaleidoEngine(paper_graph)
+    engine.run(FrequentSubgraphMining(num_edges=2, support=1))
+    index = engine._edge_index
+    assert index is not None  # edge-induced run built it
+    engine.run(FrequentSubgraphMining(num_edges=2, support=1))
+    assert engine._edge_index is index  # and the session reused it
+
+
+def test_per_run_max_embeddings_override(paper_graph):
+    engine = KaleidoEngine(paper_graph)
+    with pytest.raises(PlanError, match="max_embeddings"):
+        engine.run(MotifCounting(3), max_embeddings=1)
+    # the override is per-run: the configured guard (None) is restored
+    assert engine.planner.max_embeddings is None
+    result = engine.run(MotifCounting(3))
+    assert result.value
+
+
+def test_sentinel_keeps_configured_guard(paper_graph):
+    engine = KaleidoEngine(paper_graph, max_embeddings=1)
+    with pytest.raises(PlanError):
+        engine.run(MotifCounting(3))  # default -1 sentinel keeps the cap
+    assert engine.planner.max_embeddings == 1
+
+
+def test_caller_owned_executor_survives_engine_close(paper_graph):
+    executor = ThreadedExecutor(max_workers=2)
+    try:
+        engine = KaleidoEngine(paper_graph, workers=2, executor=executor)
+        engine.run(TriangleCounting())
+        engine.close()
+        # the engine did not reap the caller's pool
+        report = executor.run([lambda: 42], workers=2)
+        assert list(report.results) == [42]
+    finally:
+        executor.close()
+
+
+def test_shared_hasher_across_engines(paper_graph):
+    hasher = PatternHasher()
+    a = KaleidoEngine(paper_graph, hasher=hasher)
+    b = KaleidoEngine(paper_graph, hasher=hasher)
+    a.run(MotifCounting(3))
+    warm_hits = hasher.hits
+    b.run(MotifCounting(3))
+    assert hasher.hits > warm_hits  # second engine reused warm entries

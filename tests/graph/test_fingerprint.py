@@ -1,0 +1,59 @@
+"""Graph content fingerprints: stability, invalidation, independence."""
+
+import numpy as np
+
+from repro.graph import Graph, from_edge_list
+
+EDGES = [(0, 1), (1, 2), (2, 0), (2, 3)]
+
+
+def test_fingerprint_is_stable_and_cached():
+    graph = from_edge_list(EDGES)
+    assert graph.fingerprint() == graph.fingerprint()
+
+
+def test_same_contents_same_fingerprint():
+    a = from_edge_list(EDGES, name="first-load")
+    b = from_edge_list(EDGES, name="second-load")
+    assert a.fingerprint() == b.fingerprint()  # name is not content
+
+
+def test_different_structure_different_fingerprint():
+    a = from_edge_list(EDGES)
+    b = from_edge_list(EDGES + [(3, 0)])
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_label_mutation_changes_fingerprint_after_invalidate():
+    graph = from_edge_list(EDGES)
+    before = graph.fingerprint()
+    graph.labels[0] += 1
+    # stale until caches are invalidated (fingerprint is memoised)
+    assert graph.fingerprint() == before
+    graph.invalidate_caches()
+    assert graph.fingerprint() != before
+
+
+def test_edge_labels_participate():
+    base = from_edge_list(EDGES)
+    num_edges = base.num_edges
+    labeled = Graph(
+        base.indptr.copy(),
+        base.indices.copy(),
+        base.labels.copy(),
+        edge_labels=np.zeros(num_edges, dtype=np.int32),
+    )
+    relabeled = Graph(
+        base.indptr.copy(),
+        base.indices.copy(),
+        base.labels.copy(),
+        edge_labels=np.ones(num_edges, dtype=np.int32),
+    )
+    assert labeled.fingerprint() != base.fingerprint()
+    assert labeled.fingerprint() != relabeled.fingerprint()
+
+
+def test_fingerprint_is_hex_digest():
+    fp = from_edge_list(EDGES).fingerprint()
+    assert len(fp) == 32
+    int(fp, 16)  # parses as hex

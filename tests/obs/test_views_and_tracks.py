@@ -1,0 +1,93 @@
+"""MetricsView prefix scoping and Tracer.track_span request tracks."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsView, NULL_TRACER, Tracer
+
+
+def test_view_prefixes_every_instrument():
+    registry = MetricsRegistry()
+    view = registry.view("tenant.alice")
+    view.counter("queries").inc()
+    view.gauge("inflight").set(2)
+    view.histogram("latency").observe(0.5)
+    snap = registry.snapshot()
+    assert snap["tenant.alice.queries"]["value"] == 1
+    assert snap["tenant.alice.inflight"]["value"] == 2
+    assert snap["tenant.alice.latency"]["count"] == 1
+
+
+def test_view_shares_instruments_with_registry():
+    registry = MetricsRegistry()
+    view = registry.view("svc")
+    assert view.counter("n") is registry.counter("svc.n")
+
+
+def test_views_nest():
+    registry = MetricsRegistry()
+    nested = registry.view("tenant").view("bob")
+    nested.counter("queries").inc()
+    assert registry.snapshot()["tenant.bob.queries"]["value"] == 1
+
+
+def test_view_names_and_snapshot_are_scoped():
+    registry = MetricsRegistry()
+    registry.counter("other.thing").inc()
+    view = registry.view("tenant.carol")
+    view.counter("queries").inc()
+    assert view.names() == ["tenant.carol.queries"]
+    assert view.snapshot() == {
+        "queries": {"type": "counter", "value": 1}
+    }
+
+
+def test_empty_prefix_rejected():
+    with pytest.raises(ValueError):
+        MetricsRegistry().view("")
+
+
+def test_view_type_is_exported():
+    registry = MetricsRegistry()
+    assert isinstance(registry.view("x"), MetricsView)
+
+
+class FakeClock:
+    def __init__(self):
+        self.time = 0.0
+
+    def __call__(self):
+        self.time += 1.0
+        return self.time
+
+
+def test_track_span_records_complete_on_explicit_track():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.track_span("query", "request-1", tenant="alice"):
+        pass
+    (event,) = [e for e in tracer.events if e.kind == "complete"]
+    assert event.name == "query"
+    assert event.track == "request-1"
+    assert event.args["tenant"] == "alice"
+    assert event.dur is not None and event.dur > 0
+
+
+def test_track_span_annotate_adds_args():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.track_span("query", "request-2") as span:
+        span.annotate(route="GREEN", cache=True)
+    (event,) = [e for e in tracer.events if e.kind == "complete"]
+    assert event.args == {"route": "GREEN", "cache": True}
+
+
+def test_track_span_concurrent_tracks_do_not_interleave():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.track_span("query", "request-1"):
+        with tracer.track_span("query", "request-2"):
+            pass
+    events = [e for e in tracer.events if e.kind == "complete"]
+    assert {e.track for e in events} == {"request-1", "request-2"}
+
+
+def test_null_tracer_track_span_is_noop():
+    with NULL_TRACER.track_span("query", "request-1") as span:
+        span.annotate(anything=1)

@@ -1,0 +1,60 @@
+"""ResultCache: LRU behaviour, metrics accounting, invalidation."""
+
+from repro.obs import MetricsRegistry
+from repro.service import CachedAnswer, ResultCache
+
+ANSWER = CachedAnswer(value=1, pattern_map={0: 1}, route="RED")
+
+
+def key(fp: str, app: str = "tc", k: int = 3) -> tuple:
+    return (fp, app, k, ("exact",))
+
+
+def test_hit_miss_and_metrics():
+    metrics = MetricsRegistry()
+    cache = ResultCache(max_entries=4, metrics=metrics)
+    assert cache.get(key("g1")) is None
+    cache.put(key("g1"), ANSWER)
+    assert cache.get(key("g1")) is ANSWER
+    snap = metrics.snapshot()
+    assert snap["service.cache.hits"]["value"] == 1
+    assert snap["service.cache.misses"]["value"] == 1
+    assert snap["service.cache.entries"]["value"] == 1
+
+
+def test_lru_evicts_oldest_first():
+    metrics = MetricsRegistry()
+    cache = ResultCache(max_entries=2, metrics=metrics)
+    cache.put(key("g1"), ANSWER)
+    cache.put(key("g2"), ANSWER)
+    cache.get(key("g1"))  # touch g1 so g2 is the LRU entry
+    cache.put(key("g3"), ANSWER)
+    assert cache.get(key("g1")) is not None
+    assert cache.get(key("g2")) is None
+    assert metrics.snapshot()["service.cache.evictions"]["value"] == 1
+
+
+def test_put_replaces_existing_entry():
+    cache = ResultCache(max_entries=2)
+    other = CachedAnswer(value=2, pattern_map={0: 2}, route="YELLOW")
+    cache.put(key("g1"), ANSWER)
+    cache.put(key("g1"), other)
+    assert len(cache) == 1
+    assert cache.get(key("g1")) is other
+
+
+def test_invalidate_graph_drops_only_that_fingerprint():
+    cache = ResultCache(max_entries=8)
+    cache.put(key("g1", "tc"), ANSWER)
+    cache.put(key("g1", "motif"), ANSWER)
+    cache.put(key("g2", "tc"), ANSWER)
+    assert cache.invalidate_graph("g1") == 2
+    assert len(cache) == 1
+    assert cache.get(key("g2", "tc")) is not None
+
+
+def test_rejects_nonpositive_capacity():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)

@@ -1,0 +1,85 @@
+"""Complexity routing: GREEN/YELLOW/RED decisions and rejections."""
+
+import pytest
+
+from repro.errors import QueryRejectedError
+from repro.obs import MetricsRegistry
+from repro.service import ComplexityRouter, QueryBudget, QueryRequest, Route
+from repro.service.router import estimate_embeddings
+
+
+@pytest.fixture
+def router_and_metrics():
+    metrics = MetricsRegistry()
+    return ComplexityRouter(metrics), metrics
+
+
+def test_cached_queries_route_green(paper_graph, router_and_metrics):
+    router, metrics = router_and_metrics
+    request = QueryRequest(app="tc", graph=paper_graph)
+    decision = router.classify(request, paper_graph, cached=True, max_embeddings=None)
+    assert decision.route is Route.GREEN
+    assert metrics.snapshot()["service.route.green"]["value"] == 1
+
+
+def test_approximate_mode_routes_yellow(paper_graph, router_and_metrics):
+    router, _ = router_and_metrics
+    request = QueryRequest(app="motif", graph=paper_graph, mode="approximate")
+    decision = router.classify(request, paper_graph, cached=False, max_embeddings=None)
+    assert decision.route is Route.YELLOW
+    assert not decision.degraded
+
+
+def test_within_budget_routes_red(paper_graph, router_and_metrics):
+    router, metrics = router_and_metrics
+    request = QueryRequest(app="tc", graph=paper_graph)
+    decision = router.classify(
+        request, paper_graph, cached=False, max_embeddings=10**9
+    )
+    assert decision.route is Route.RED
+    assert decision.estimated_embeddings is not None
+    assert metrics.snapshot()["service.route.red"]["value"] == 1
+
+
+def test_over_budget_approximable_degrades_to_yellow(paper_graph, router_and_metrics):
+    router, metrics = router_and_metrics
+    request = QueryRequest(
+        app="motif", k=4, graph=paper_graph, budget=QueryBudget(max_embeddings=1)
+    )
+    decision = router.classify(request, paper_graph, cached=False, max_embeddings=1)
+    assert decision.route is Route.YELLOW
+    assert decision.degraded
+    assert metrics.snapshot()["service.route.degraded"]["value"] == 1
+
+
+def test_over_budget_without_degradation_is_rejected(paper_graph, router_and_metrics):
+    router, metrics = router_and_metrics
+    request = QueryRequest(
+        app="clique",
+        k=4,
+        graph=paper_graph,
+        budget=QueryBudget(max_embeddings=1),
+    )
+    with pytest.raises(QueryRejectedError, match="cannot degrade"):
+        router.classify(request, paper_graph, cached=False, max_embeddings=1)
+    request = QueryRequest(
+        app="motif",
+        k=4,
+        graph=paper_graph,
+        budget=QueryBudget(max_embeddings=1, allow_degraded=False),
+    )
+    with pytest.raises(QueryRejectedError, match="allow_degraded=False"):
+        router.classify(request, paper_graph, cached=False, max_embeddings=1)
+    assert metrics.snapshot()["service.route.rejected"]["value"] == 2
+
+
+def test_estimate_grows_with_k(paper_graph):
+    small = estimate_embeddings(paper_graph, "motif", 3, {})
+    large = estimate_embeddings(paper_graph, "motif", 5, {})
+    assert large > small > 0
+
+
+def test_estimate_fsm_grows_with_edges(paper_graph):
+    shallow = estimate_embeddings(paper_graph, "fsm", 0, {"edges": 1})
+    deep = estimate_embeddings(paper_graph, "fsm", 0, {"edges": 4})
+    assert deep > shallow > 0

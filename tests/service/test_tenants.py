@@ -1,0 +1,67 @@
+"""Tenant quotas: admission control, release pairing, budget clamps."""
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.obs import MetricsRegistry
+from repro.service import TenantQuota, TenantRegistry
+
+
+def test_quota_validates_concurrency():
+    with pytest.raises(ValueError):
+        TenantQuota(max_concurrent=0)
+
+
+def test_admit_until_quota_then_reject():
+    metrics = MetricsRegistry()
+    tenants = TenantRegistry(TenantQuota(max_concurrent=2), metrics=metrics)
+    tenants.admit("alice")
+    tenants.admit("alice")
+    with pytest.raises(QuotaExceededError, match="alice"):
+        tenants.admit("alice")
+    # other tenants are unaffected
+    tenants.admit("bob")
+    snap = metrics.snapshot()
+    assert snap["tenant.alice.admitted"]["value"] == 2
+    assert snap["tenant.alice.rejected"]["value"] == 1
+    assert snap["tenant.alice.inflight"]["value"] == 2
+    assert snap["tenant.bob.admitted"]["value"] == 1
+
+
+def test_release_frees_a_slot():
+    tenants = TenantRegistry(TenantQuota(max_concurrent=1))
+    tenants.admit("alice")
+    tenants.release("alice")
+    tenants.admit("alice")
+    assert tenants.inflight("alice") == 1
+
+
+def test_release_without_admit_is_an_error():
+    tenants = TenantRegistry()
+    with pytest.raises(ValueError, match="release without admit"):
+        tenants.release("ghost")
+
+
+def test_per_tenant_quota_overrides_default():
+    tenants = TenantRegistry(TenantQuota(max_concurrent=4))
+    tenants.set_quota("cheap", TenantQuota(max_concurrent=1))
+    tenants.admit("cheap")
+    with pytest.raises(QuotaExceededError):
+        tenants.admit("cheap")
+
+
+def test_clamp_budget_takes_the_minimum():
+    tenants = TenantRegistry()
+    tenants.set_quota("t", TenantQuota(max_embeddings=100))
+    assert tenants.clamp_budget("t", None) == 100
+    assert tenants.clamp_budget("t", 50) == 50
+    assert tenants.clamp_budget("t", 500) == 100
+    assert tenants.clamp_budget("unlimited", None) is None
+    assert tenants.clamp_budget("unlimited", 7) == 7
+
+
+def test_view_is_scoped_to_the_tenant():
+    metrics = MetricsRegistry()
+    tenants = TenantRegistry(metrics=metrics)
+    tenants.view("alice").counter("queries").inc()
+    assert metrics.snapshot()["tenant.alice.queries"]["value"] == 1

@@ -140,3 +140,71 @@ def test_approx_command(capsys):
     out = capsys.readouterr().out
     assert "approximate 3-motif census" in out
     assert "[" in out  # confidence interval printed
+
+
+def test_serve_stdin_round_trip(monkeypatch, capsys):
+    import io
+    import sys as _sys
+
+    requests = [
+        {"id": 1, "op": "ping"},
+        {"id": 2, "app": "tc", "dataset": "citeseer", "profile": "tiny"},
+        {"id": 3, "app": "tc", "dataset": "citeseer", "profile": "tiny"},
+        {"id": 4, "op": "shutdown"},
+    ]
+    stdin = io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+    monkeypatch.setattr(_sys, "stdin", stdin)
+    assert main(["serve", "--workers", "1"]) == 0
+    captured = capsys.readouterr()
+    responses = [json.loads(line) for line in captured.out.strip().splitlines()]
+    assert [r["id"] for r in responses] == [1, 2, 3, 4]
+    assert responses[1]["cache"] == "miss" and responses[2]["cache"] == "hit"
+    assert "served 4 requests" in captured.err
+
+
+def test_serve_metrics_export(tmp_path, monkeypatch, capsys):
+    import io
+    import sys as _sys
+
+    requests = [
+        {"app": "tc", "dataset": "citeseer", "profile": "tiny"},
+        {"op": "shutdown"},
+    ]
+    stdin = io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+    monkeypatch.setattr(_sys, "stdin", stdin)
+    metrics_path = tmp_path / "service_metrics.json"
+    assert main(["serve", "--workers", "1", "--metrics-out", str(metrics_path)]) == 0
+    capsys.readouterr()
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["service.requests"]["value"] == 1
+    assert snapshot["service.route.red"]["value"] == 1
+
+
+def test_query_command_against_socket_server(capsys):
+    from repro.service import MiningService
+    from repro.service.protocol import ServiceServer
+
+    service = MiningService(pool_workers=1)
+    server = ServiceServer(service, "127.0.0.1", 0)
+    thread = server.serve_background()
+    host, port = server.address
+    try:
+        rc = main(
+            ["query", "tc", "--socket", f"{host}:{port}",
+             "--dataset", "citeseer", "--profile", "tiny", "--tenant", "cli"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+    finally:
+        server.stop()
+        thread.join(timeout=10)
+        service.close()
+    assert rc == 0
+    assert payload["status"] == "ok"
+    assert payload["route"] == "RED" and payload["tenant"] == "cli"
+
+
+def test_query_command_rejects_bad_param(capsys):
+    assert main(
+        ["query", "tc", "--socket", "127.0.0.1:1", "--param", "nonsense"]
+    ) == 2
+    assert "bad --param" in capsys.readouterr().err

@@ -207,12 +207,13 @@ class PatternHasher:
     Also keeps the representative :class:`Pattern` per hash so results can
     be reported as structures, not bare integers.
 
-    Both caches are bounded: at most ``max_entries`` structures live in
-    each, with least-recently-used eviction once the cap is reached
-    (``evictions`` counts them).  One engine run never approaches the
-    default cap — distinct pattern structures are few — but the hasher
-    is shared across runs by the long-running service tier, where an
-    unbounded memo is a slow leak.
+    All three maps — both hash caches and the representative store —
+    are bounded: at most ``max_entries`` entries live in each, with
+    least-recently-used eviction once the cap is reached (``evictions``
+    counts them, summed across the maps).  One engine run never
+    approaches the default cap — distinct pattern structures are few —
+    but the hasher is shared across runs by the long-running service
+    tier, where an unbounded memo is a slow leak.
     """
 
     #: Default cache cap: far above any single run's distinct-structure
@@ -241,7 +242,7 @@ class PatternHasher:
         self._representatives: dict[int, Pattern] = {}
         self.hits = 0
         self.misses = 0
-        #: Entries dropped by the LRU cap, across both caches.
+        #: Entries dropped by the LRU cap, across all three maps.
         self.evictions = 0
         # Concurrent executors call hash_pattern from pool threads; the
         # dict operations are atomic (and deterministic per key), but the
@@ -249,14 +250,14 @@ class PatternHasher:
         # updates across threads, and eviction must not race a touch.
         self._stats_lock = threading.Lock()
 
-    def _touch(self, cache: dict, key: tuple) -> None:
+    def _touch(self, cache: dict, key) -> None:
         """Move ``key`` to the recently-used end (dicts preserve order)."""
         try:
             cache[key] = cache.pop(key)
         except KeyError:  # evicted between the probe and the touch
             pass
 
-    def _insert(self, cache: dict, key: tuple, value: int) -> None:
+    def _insert(self, cache: dict, key, value) -> None:
         """Insert at the recently-used end, evicting the LRU overflow."""
         cache[key] = value
         while len(cache) > self.max_entries:
@@ -288,7 +289,10 @@ class PatternHasher:
             self._insert(self._cache, key, value)
             if self.cache:
                 self._insert(self._raw_cache, raw_key, value)
-        self._representatives.setdefault(value, normalized)
+            if value in self._representatives:
+                self._touch(self._representatives, value)
+            else:
+                self._insert(self._representatives, value, normalized)
         return value
 
     @property
@@ -298,8 +302,16 @@ class PatternHasher:
         return self.hits / total if total else 0.0
 
     def representative(self, hash_value: int) -> Pattern | None:
-        """A normalised pattern that produced ``hash_value``, if any seen."""
-        return self._representatives.get(hash_value)
+        """A normalised pattern that produced ``hash_value``, if any seen.
+
+        May return ``None`` for a hash whose representative was evicted
+        by the LRU cap; callers already treat unseen hashes that way.
+        """
+        with self._stats_lock:
+            rep = self._representatives.get(hash_value)
+            if rep is not None:
+                self._touch(self._representatives, hash_value)
+            return rep
 
     @property
     def nbytes(self) -> int:

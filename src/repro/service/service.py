@@ -150,18 +150,30 @@ class MiningService:
                 self._graphs[key] = graph
             return graph
 
-    def invalidate_graph(self, graph: Graph) -> int:
+    def invalidate_graph(self, graph: Graph | str) -> int:
         """Flush cached answers and warm sessions for a mutated graph.
 
-        Call *after* mutating a graph in place (the mutation must also
-        call :meth:`Graph.invalidate_caches` so the fingerprint is
-        recomputed).  With content-keyed caching this is optional for
-        correctness — new contents hash to new keys — but it reclaims
-        sessions and entries bound to the stale fingerprint eagerly.
+        Accepts the graph object or a fingerprint string.  With
+        content-keyed caching this is optional for correctness — new
+        contents hash to new keys, and the session pool refuses to
+        reuse a session whose graph mutated under it — but it reclaims
+        stale state eagerly.  Passing the graph object flushes its
+        *current* fingerprint plus every fingerprint the pool still
+        holds sessions for under this exact object (i.e. the
+        pre-mutation keys).  To reclaim pre-mutation cache entries when
+        no warm session remembers them, capture ``graph.fingerprint()``
+        before mutating and pass that string here.  Returns the number
+        of cache entries dropped.
         """
-        fingerprint = graph.fingerprint()
-        dropped = self.cache.invalidate_graph(fingerprint)
-        self.sessions.drop_graph(fingerprint)
+        if isinstance(graph, str):
+            fingerprints = {graph}
+        else:
+            fingerprints = {graph.fingerprint()}
+            fingerprints.update(self.sessions.fingerprints_for(graph))
+        dropped = 0
+        for fingerprint in fingerprints:
+            dropped += self.cache.invalidate_graph(fingerprint)
+            self.sessions.drop_graph(fingerprint)
         return dropped
 
     # ------------------------------------------------------------------
@@ -252,6 +264,13 @@ class MiningService:
             result = self._serve_red(
                 request, request_id, graph, decision, effective, track
             )
+        if decision.degraded:
+            # A budget-degraded answer is approximate but keyed by the
+            # exact-mode request it degraded from; caching it would serve
+            # sampling estimates as GREEN hits to later exact queries —
+            # including tenants with a larger or no budget ceiling.
+            # Degraded runs are cheap by construction: just re-sample.
+            return result
         self.cache.put(
             key,
             CachedAnswer(

@@ -56,6 +56,22 @@ def test_none_means_default_capacity():
     assert len(hasher) == 10
 
 
+def test_representatives_are_bounded_too():
+    hasher = PatternHasher(max_entries=2)
+    for n in range(2, 8):
+        value = hasher.hash_pattern(chain(n))
+    assert len(hasher._representatives) <= 2
+    # the most recently hashed structure still has its representative
+    assert hasher.representative(value) is not None
+
+
+def test_evicted_representative_reads_as_unseen():
+    hasher = PatternHasher(max_entries=1)
+    first = hasher.hash_pattern(chain(3))
+    hasher.hash_pattern(chain(4))
+    assert hasher.representative(first) is None
+
+
 def test_stats_survive_eviction():
     hasher = PatternHasher(max_entries=2)
     hasher.hash_pattern(chain(3))

@@ -129,6 +129,28 @@ def test_explicit_invalidate_graph_flushes_entries(service, paper_graph):
     assert result.route is Route.RED
 
 
+def test_invalidate_graph_reclaims_pre_mutation_state(service, paper_graph):
+    service.query(QueryRequest(app="tc", graph=paper_graph))
+    old_fingerprint = paper_graph.fingerprint()
+    paper_graph.labels[0] += 1
+    paper_graph.invalidate_caches()
+    assert paper_graph.fingerprint() != old_fingerprint
+    # the old-fingerprint entry and session are found via the session
+    # pool's graph-object identity, despite the fingerprint having moved
+    assert service.invalidate_graph(paper_graph) == 1
+    assert len(service.cache) == 0
+    assert len(service.sessions) == 0
+
+
+def test_invalidate_graph_accepts_a_fingerprint_string(service, paper_graph):
+    old_fingerprint = paper_graph.fingerprint()
+    service.query(QueryRequest(app="tc", graph=paper_graph))
+    paper_graph.labels[0] += 1
+    paper_graph.invalidate_caches()
+    assert service.invalidate_graph(old_fingerprint) == 1
+    assert len(service.cache) == 0
+
+
 # ----------------------------------------------------------------------
 # Quotas and budgets
 # ----------------------------------------------------------------------
@@ -162,6 +184,24 @@ def test_budget_exceeded_degrades_to_approximate(service, paper_graph):
     assert result.extra["degraded"]
     assert result.error_bars is not None
     assert counter(service, "service.route.degraded") == 1
+
+
+def test_degraded_answer_is_not_cached_under_the_exact_key(service, paper_graph):
+    degraded = service.query(
+        QueryRequest(
+            app="motif",
+            k=4,
+            graph=paper_graph,
+            budget=QueryBudget(max_embeddings=2, samples=50),
+        )
+    )
+    assert degraded.route is Route.YELLOW
+    assert degraded.extra["degraded"]
+    # a later exact query with no budget must mine, never see the estimate
+    exact = service.query(QueryRequest(app="motif", k=4, graph=paper_graph))
+    assert exact.route is Route.RED and not exact.cache_hit
+    assert exact.error_bars is None
+    assert counter(service, "service.cache.hits") == 0
 
 
 def test_tenant_ceiling_degrades_without_query_budget(service, paper_graph):

@@ -1,0 +1,157 @@
+"""SessionPool invariants: staleness, busy-drop dooming, unlocked builds."""
+
+import threading
+
+import pytest
+
+from repro.graph import from_edge_list
+from repro.service.sessions import SessionPool
+
+
+class FakeEngine:
+    """Stands in for KaleidoEngine: just tracks close()."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.closed = False
+        self.runs_completed = 0
+
+    def close(self):
+        self.closed = True
+
+
+TRIANGLE = [(1, 2), (2, 3), (1, 3)]
+
+
+@pytest.fixture
+def graph():
+    return from_edge_list(TRIANGLE, name="tri")
+
+
+def counting_factory(engines):
+    def factory(graph):
+        engine = FakeEngine(graph)
+        engines.append(engine)
+        return engine
+
+    return factory
+
+
+def test_stale_session_is_never_reused_for_the_old_contents(graph):
+    engines = []
+    pool = SessionPool(counting_factory(engines), max_sessions_per_graph=2)
+    with pool.session(graph):
+        pass
+    old_fingerprint = graph.fingerprint()
+    graph.labels[0] += 1
+    graph.invalidate_caches()
+    # a different graph object that genuinely has the old contents
+    twin = from_edge_list(TRIANGLE, name="twin")
+    assert twin.fingerprint() == old_fingerprint
+    with pool.session(twin) as session:
+        assert session.graph is twin  # not the mutated object
+    assert len(engines) == 2
+    assert engines[0].closed  # the stale session's engine was reclaimed
+    pool.close()
+
+
+def test_drop_graph_dooms_busy_sessions_and_closes_on_release(graph):
+    engines = []
+    pool = SessionPool(counting_factory(engines), max_sessions_per_graph=2)
+    fingerprint = graph.fingerprint()
+    session = pool._acquire(graph)
+    assert pool.drop_graph(fingerprint) == 1
+    assert not session.engine.closed  # the borrower is still running
+    assert len(pool) == 0
+    pool._release(session)
+    assert session.engine.closed
+    pool.close()
+
+
+def test_close_dooms_busy_sessions_too(graph):
+    engines = []
+    pool = SessionPool(counting_factory(engines), max_sessions_per_graph=2)
+    session = pool._acquire(graph)
+    pool.close()
+    assert not session.engine.closed
+    pool._release(session)
+    assert session.engine.closed
+
+
+def test_engine_build_does_not_hold_the_pool_lock():
+    release = threading.Event()
+    started = threading.Event()
+
+    def factory(graph):
+        if graph.name == "slow":
+            started.set()
+            assert release.wait(timeout=30)
+        return FakeEngine(graph)
+
+    slow = from_edge_list([(1, 2), (2, 3)], name="slow")
+    fast = from_edge_list([(1, 2), (1, 3), (2, 3)], name="fast")
+    pool = SessionPool(factory, max_sessions_per_graph=1)
+    done = {}
+
+    def build_slow():
+        with pool.session(slow) as session:
+            done["slow"] = session.engine.graph is slow
+
+    thread = threading.Thread(target=build_slow)
+    thread.start()
+    assert started.wait(timeout=30)
+    # the slow engine is mid-build; another graph's acquire must not block
+    with pool.session(fast) as session:
+        done["fast"] = session.engine.graph is fast
+    release.set()
+    thread.join(timeout=30)
+    assert done == {"fast": True, "slow": True}
+    pool.close()
+
+
+def test_factory_failure_releases_the_reserved_slot(graph):
+    calls = []
+
+    def flaky(g):
+        calls.append(g)
+        if len(calls) == 1:
+            raise RuntimeError("boom")
+        return FakeEngine(g)
+
+    pool = SessionPool(flaky, max_sessions_per_graph=1)
+    with pytest.raises(RuntimeError, match="boom"):
+        pool._acquire(graph)
+    with pool.session(graph) as session:  # the reservation was released
+        assert session.engine.graph is graph
+    pool.close()
+
+
+def test_reservations_count_against_the_per_graph_cap(graph):
+    gate = threading.Event()
+    building = threading.Event()
+    engines = []
+
+    def gated(g):
+        building.set()
+        assert gate.wait(timeout=30)
+        engine = FakeEngine(g)
+        engines.append(engine)
+        return engine
+
+    pool = SessionPool(gated, max_sessions_per_graph=1)
+    results = []
+
+    def worker():
+        with pool.session(graph) as session:
+            results.append(session)
+
+    threads = [threading.Thread(target=worker) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    assert building.wait(timeout=30)
+    gate.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(engines) == 1  # cap 1: one build, two reuses
+    assert len(results) == 3
+    pool.close()

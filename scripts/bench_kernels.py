@@ -5,11 +5,15 @@ Times the exploration hot path both ways on the synthetic CiteSeer/MiCo
 stand-ins:
 
 * **kernel micro-bench** — expand one full CSE level per dataset through
-  the scalar per-embedding loop (tuple decode + ``expand_vertex_part``)
-  and through the vectorized block kernel (``decode_block`` +
-  ``expand_vertex_block``), plus the edge-induced analogue, and report
-  the speedup.  The outputs are asserted bit-identical first — a fast
-  wrong kernel must fail the benchmark, not win it.
+  the scalar per-embedding loop (tuple decode + ``expand_vertex_part``),
+  through the vectorized *masked* block kernel (``decode_block`` +
+  ``expand_vertex_block``, post-hoc canonical mask), and through the
+  *restricted* kernel (fused ``searchsorted`` lower bounds from
+  ``canonical_level_restrictions``), plus the edge-induced analogues,
+  and report the speedups.  The outputs are asserted bit-identical
+  first — a fast wrong kernel must fail the benchmark, not win it.  The
+  restricted kernel legitimately examines fewer candidates, so only its
+  emitted ``(vert, counts)`` are compared against the scalar oracle.
 * **executor wall-clock** — one 3-motif engine run under the real
   thread-pool executor and the real spawn-based process-pool executor,
   reporting wall seconds for each.
@@ -18,7 +22,8 @@ stand-ins:
   front cache exists exactly for this — and is recorded in the output.
 
 Writes ``BENCH_kernels.json`` and exits nonzero if the vectorized kernel
-is slower than the scalar loop on the smoke workload (the CI guard), if
+is slower than the scalar loop on the smoke workload, if the restricted
+edge kernel is slower than the masked one (the CI guards), if
 kernel/scalar outputs differ, or if the hasher hit rate collapses.
 
 Usage::
@@ -47,6 +52,7 @@ from repro.core.explore import (  # noqa: E402
     expand_vertex_level,
     expand_vertex_part,
 )
+from repro.core.restrictions import canonical_level_restrictions  # noqa: E402
 from repro.graph import datasets  # noqa: E402
 from repro.graph.edge_index import EdgeIndex  # noqa: E402
 
@@ -74,12 +80,19 @@ def bench_vertex_kernel(graph, depth: int, repeats: int) -> dict:
         embeddings = [emb for _, emb in cse.iter_embeddings()]
         return expand_vertex_part(graph, adjacency, embeddings, (0, size), 0)
 
+    restrictions = canonical_level_restrictions("vertex", cse.depth)
+
     def vectorized():
         block = cse.decode_block(0, size)
         return kernels.expand_vertex_block(ctx, block)
 
+    def restricted():
+        block = cse.decode_block(0, size)
+        return kernels.expand_vertex_block(ctx, block, restrictions)
+
     scalar_s, ref = _best_of(scalar, repeats)
     vector_s, out = _best_of(vectorized, repeats)
+    restricted_s, rout = _best_of(restricted, repeats)
     vert, counts, examined = out
     if not (
         np.array_equal(vert, ref.vert)
@@ -87,12 +100,27 @@ def bench_vertex_kernel(graph, depth: int, repeats: int) -> dict:
         and examined == ref.candidates_examined
     ):
         raise RuntimeError(f"vertex kernel output differs from scalar on {graph.name}")
+    if not (
+        np.array_equal(rout[0], ref.vert) and np.array_equal(rout[1], ref.counts)
+    ):
+        raise RuntimeError(
+            f"restricted vertex kernel diverges from the oracle on {graph.name}"
+        )
     return {
         "embeddings": size,
         "emitted": int(ref.emitted),
         "scalar_seconds": scalar_s,
         "vectorized_seconds": vector_s,
+        "restricted_seconds": restricted_s,
         "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+        "restricted_speedup": (
+            scalar_s / restricted_s if restricted_s > 0 else float("inf")
+        ),
+        "restricted_vs_masked": (
+            vector_s / restricted_s if restricted_s > 0 else float("inf")
+        ),
+        "examined_masked": int(examined),
+        "examined_restricted": int(rout[2]),
     }
 
 
@@ -110,12 +138,19 @@ def bench_edge_kernel(graph, repeats: int) -> dict:
         embeddings = [emb for _, emb in cse.iter_embeddings()]
         return expand_edge_part(eu, ev, incident, embeddings, (0, size), 0)
 
+    restrictions = canonical_level_restrictions("edge", cse.depth)
+
     def vectorized():
         block = cse.decode_block(0, size)
         return kernels.expand_edge_block(ctx, block)
 
+    def restricted():
+        block = cse.decode_block(0, size)
+        return kernels.expand_edge_block(ctx, block, restrictions)
+
     scalar_s, ref = _best_of(scalar, repeats)
     vector_s, out = _best_of(vectorized, repeats)
+    restricted_s, rout = _best_of(restricted, repeats)
     vert, counts, examined = out
     if not (
         np.array_equal(vert, ref.vert)
@@ -123,12 +158,27 @@ def bench_edge_kernel(graph, repeats: int) -> dict:
         and examined == ref.candidates_examined
     ):
         raise RuntimeError(f"edge kernel output differs from scalar on {graph.name}")
+    if not (
+        np.array_equal(rout[0], ref.vert) and np.array_equal(rout[1], ref.counts)
+    ):
+        raise RuntimeError(
+            f"restricted edge kernel diverges from the oracle on {graph.name}"
+        )
     return {
         "embeddings": size,
         "emitted": int(ref.emitted),
         "scalar_seconds": scalar_s,
         "vectorized_seconds": vector_s,
+        "restricted_seconds": restricted_s,
         "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+        "restricted_speedup": (
+            scalar_s / restricted_s if restricted_s > 0 else float("inf")
+        ),
+        "restricted_vs_masked": (
+            vector_s / restricted_s if restricted_s > 0 else float("inf")
+        ),
+        "examined_masked": int(examined),
+        "examined_restricted": int(rout[2]),
     }
 
 
@@ -208,24 +258,27 @@ def main(argv=None) -> int:
         vertex = bench_vertex_kernel(graph, depth=2, repeats=repeats)
         edge = bench_edge_kernel(graph, repeats=repeats)
         record["datasets"][name] = {"vertex_kernel": vertex, "edge_kernel": edge}
-        print(
-            f"{name:>10} vertex: {vertex['embeddings']} embeddings, "
-            f"scalar {vertex['scalar_seconds'] * 1e3:.1f}ms vs "
-            f"vectorized {vertex['vectorized_seconds'] * 1e3:.1f}ms "
-            f"({vertex['speedup']:.1f}x)"
-        )
-        print(
-            f"{name:>10}   edge: {edge['embeddings']} embeddings, "
-            f"scalar {edge['scalar_seconds'] * 1e3:.1f}ms vs "
-            f"vectorized {edge['vectorized_seconds'] * 1e3:.1f}ms "
-            f"({edge['speedup']:.1f}x)"
-        )
         for kind, run in (("vertex", vertex), ("edge", edge)):
+            print(
+                f"{name:>10} {kind:>6}: {run['embeddings']} embeddings, "
+                f"scalar {run['scalar_seconds'] * 1e3:.1f}ms vs "
+                f"masked {run['vectorized_seconds'] * 1e3:.1f}ms "
+                f"({run['speedup']:.1f}x) vs "
+                f"restricted {run['restricted_seconds'] * 1e3:.1f}ms "
+                f"({run['restricted_speedup']:.1f}x scalar, "
+                f"{run['restricted_vs_masked']:.2f}x masked, "
+                f"{run['examined_restricted']}/{run['examined_masked']} examined)"
+            )
             if run["speedup"] < 1.0:
                 failures.append(
                     f"{name} {kind} kernel slower than scalar "
                     f"({run['speedup']:.2f}x)"
                 )
+        if edge["restricted_vs_masked"] < 1.0:
+            failures.append(
+                f"{name} restricted edge kernel slower than masked "
+                f"({edge['restricted_vs_masked']:.2f}x)"
+            )
 
     smoke = datasets.load("citeseer", profile)
     record["sanitize"] = args.sanitize

@@ -521,6 +521,7 @@ class DtypeDisciplineRule(Rule):
         "core/kernels.py",
         "core/plan.py",
         "core/explore.py",
+        "core/restrictions.py",
         "storage/spill.py",
         "storage/hybrid.py",
         "storage/checkpoint.py",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..core.api import EngineContext, MiningApplication, PatternMap
 from ..core.cse import CSE
+from ..core.pattern import Pattern, triangle_index
 
 __all__ = ["CliqueDiscovery", "CliqueResult"]
 
@@ -50,6 +51,14 @@ class CliqueDiscovery(MiningApplication):
 
     def iterations(self) -> int:
         return self.k - 1
+
+    def query_pattern(self) -> Pattern:
+        """The unlabeled complete pattern K_k."""
+        bits = 0
+        for i in range(self.k):
+            for j in range(i + 1, self.k):
+                bits |= 1 << triangle_index(i, j, self.k)
+        return Pattern((0,) * self.k, bits)
 
     def embedding_filter(self, embedding: tuple[int, ...], candidate: int) -> bool:
         """Candidate must close a clique with every current member.

@@ -69,6 +69,9 @@ class PatternMatching(MiningApplication):
     def iterations(self) -> int:
         return self.pattern.num_vertices - 1
 
+    def query_pattern(self) -> Pattern:
+        return self.pattern
+
     def init(self, ctx: EngineContext):
         self._graph = ctx.graph
         self._matches: list[tuple[int, ...]] = []

@@ -12,8 +12,17 @@ import numpy as np
 
 from ..core.api import EngineContext, MiningApplication, PatternMap
 from ..core.cse import CSE
+from ..core.pattern import Pattern, triangle_index
 
 __all__ = ["TriangleCounting"]
+
+#: The (unlabeled) triangle pattern: K_3.
+_TRIANGLE = Pattern(
+    (0, 0, 0),
+    (1 << triangle_index(0, 1, 3))
+    | (1 << triangle_index(0, 2, 3))
+    | (1 << triangle_index(1, 2, 3)),
+)
 
 
 class TriangleCounting(MiningApplication):
@@ -28,6 +37,9 @@ class TriangleCounting(MiningApplication):
     def iterations(self) -> int:
         # One expansion turns 1-embeddings (vertices) into 2-embeddings.
         return 1
+
+    def query_pattern(self) -> Pattern:
+        return _TRIANGLE
 
     def map_embedding(
         self, ctx: EngineContext, embedding: tuple[int, ...], pmap: PatternMap

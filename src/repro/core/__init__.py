@@ -33,8 +33,21 @@ from .explore import (
     expand_vertex_part,
 )
 from .plan import AggregatePlan, LevelPlan, Planner
-from .isomorphism import are_isomorphic, automorphism_count, canonical_key
+from .isomorphism import (
+    are_isomorphic,
+    automorphism_count,
+    canonical_key,
+    position_orbits,
+)
 from .pattern import MAX_EIGENHASH_VERTICES, Pattern, triangle_index
+from .restrictions import (
+    KernelRestrictions,
+    LevelConstraint,
+    Restriction,
+    RestrictionSet,
+    canonical_level_restrictions,
+    compile_restrictions,
+)
 
 __all__ = [
     "CSE",
@@ -50,6 +63,13 @@ __all__ = [
     "are_isomorphic",
     "canonical_key",
     "automorphism_count",
+    "position_orbits",
+    "Restriction",
+    "RestrictionSet",
+    "LevelConstraint",
+    "compile_restrictions",
+    "KernelRestrictions",
+    "canonical_level_restrictions",
     "canonical_order",
     "is_canonical",
     "extends_canonically",

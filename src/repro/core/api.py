@@ -101,6 +101,19 @@ class MiningApplication:
         """
         return type(self).embedding_filter is not MiningApplication.embedding_filter
 
+    def query_pattern(self):
+        """The single query :class:`~repro.core.pattern.Pattern` this app
+        mines, or None for apps that mine all patterns at once (FSM,
+        motif counting).
+
+        The planner compiles the pattern's automorphism group into a
+        symmetry-breaking :class:`~repro.core.restrictions.RestrictionSet`
+        and attaches each level's ordering constraints to its
+        :class:`~repro.core.plan.LevelPlan`; the compiled set is also
+        surfaced in the run result's ``extra["pattern_restrictions"]``.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Phase 2 hooks
     # ------------------------------------------------------------------

@@ -198,6 +198,7 @@ class KaleidoEngine:
         tracer: "Tracer | NullTracer | None" = None,
         metrics: MetricsRegistry | None = None,
         sanitize: bool = False,
+        use_restrictions: bool = True,
     ) -> None:
         if storage_mode not in ("auto", "memory", "spill-last"):
             raise ValueError(f"unknown storage_mode {storage_mode!r}")
@@ -242,6 +243,10 @@ class KaleidoEngine:
             tracer=self.tracer,
             metrics=self.metrics,
         )
+        #: Whether plans fuse symmetry-breaking restrictions into the
+        #: vectorized kernels (the --no-restrictions escape hatch turns
+        #: this off; mined results are byte-identical either way).
+        self.use_restrictions = use_restrictions
         self.planner = Planner(
             graph,
             self._policy,
@@ -250,6 +255,7 @@ class KaleidoEngine:
             use_prediction=use_prediction,
             storage_mode=storage_mode,
             max_embeddings=max_embeddings,
+            use_restrictions=use_restrictions,
         )
         self.sanitize = sanitize
         #: Active PartPuritySanitizer while a sanitized run is in flight.
@@ -350,6 +356,13 @@ class KaleidoEngine:
         # overridden filter forces the scalar per-candidate fallback.
         emb_filter = app.embedding_filter if app.overrides_embedding_filter() else None
 
+        # Compile the app's query pattern (if it has one) into its
+        # symmetry-breaking restriction set so level plans carry the
+        # per-level ordering constraints alongside the fused kernel
+        # bounds.
+        pattern_restrictions = self.planner.pattern_restrictions(app)
+        self.planner.active_restriction_set = pattern_restrictions
+
         roots = app.init(ctx)
         cse = CSE(roots)
         reduced: PatternMap = {}
@@ -403,6 +416,7 @@ class KaleidoEngine:
                                     executor=self.executor,
                                     workers=self.workers,
                                     tracer=self.tracer,
+                                    restrictions=plan.restrictions,
                                 )
                             else:
                                 assert ctx.edge_index is not None
@@ -416,6 +430,7 @@ class KaleidoEngine:
                                     executor=self.executor,
                                     workers=self.workers,
                                     tracer=self.tracer,
+                                    restrictions=plan.restrictions,
                                 )
                     except _DEGRADABLE_ERRORS as exc:
                         execute_seconds += time.perf_counter() - stage_started
@@ -514,6 +529,15 @@ class KaleidoEngine:
                 "io_retries": self._io_counter("retries"),
                 "io_failed_deletes": self._io_counter("failed_deletes"),
                 "sanitize": self.sanitize,
+                "restrictions": self.use_restrictions,
+                "pattern_restrictions": (
+                    None
+                    if pattern_restrictions is None
+                    else [
+                        (r.smaller, r.larger)
+                        for r in pattern_restrictions.restrictions
+                    ]
+                ),
             },
         )
         return result

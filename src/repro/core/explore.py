@@ -357,14 +357,30 @@ class _BlockTask:
 
     kernel: Callable = None  # type: ignore[assignment]
 
-    def __init__(self, ctx, block: np.ndarray, bound: tuple[int, int], index: int) -> None:
+    def __init__(
+        self,
+        ctx,
+        block: np.ndarray,
+        bound: tuple[int, int],
+        index: int,
+        restrictions=None,
+    ) -> None:
         self.shared_context = ctx
         self.block = block
         self.bound = bound
         self.index = index
+        #: Fused symmetry-breaking bounds (KernelRestrictions) or None
+        #: for the masked path.  Tiny and immutable, so unlike the
+        #: context it stays in the pickle.
+        self.restrictions = restrictions
 
     def __getstate__(self) -> dict:
-        return {"block": self.block, "bound": self.bound, "index": self.index}
+        return {
+            "block": self.block,
+            "bound": self.bound,
+            "index": self.index,
+            "restrictions": self.restrictions,
+        }
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
@@ -374,7 +390,7 @@ class _BlockTask:
         ctx = self.shared_context
         if ctx is None:
             ctx = kernels.current_worker_context()
-        vert, counts, examined = type(self).kernel(ctx, self.block)
+        vert, counts, examined = type(self).kernel(ctx, self.block, self.restrictions)
         return PartExpansion(
             index=self.index,
             bound=self.bound,
@@ -411,17 +427,21 @@ def _scalar_task_factory(cse: CSE, make_part: Callable[..., PartExpansion]):
     return factory
 
 
-def _block_task_factory(cse: CSE, ctx, task_cls: type[_BlockTask]):
+def _block_task_factory(cse: CSE, ctx, task_cls: type[_BlockTask], restrictions=None):
     """Tasks that decode each part as one 2-D block (kernel fast path).
 
     Decoding happens as the executor pulls each task, so at most a
     bounded number of blocks (the executor's in-flight window) exist at
-    once.
+    once.  ``restrictions`` (optional
+    :class:`~repro.core.restrictions.KernelRestrictions`) selects the
+    fused symmetry-breaking gather inside the kernel.
     """
 
     def factory(parts: Sequence[tuple[int, int]]):
         for index, (start, end) in enumerate(parts):
-            yield task_cls(ctx, cse.decode_block(start, end), (start, end), index)
+            yield task_cls(
+                ctx, cse.decode_block(start, end), (start, end), index, restrictions
+            )
 
     return factory
 
@@ -505,6 +525,7 @@ def expand_vertex_level(
     workers: int = 1,
     tracer: "Tracer | None" = None,
     use_kernels: bool = True,
+    restrictions=None,
 ) -> ExpansionStats:
     """Expand the CSE's top level by one vertex (one exploration iteration).
 
@@ -512,14 +533,19 @@ def expand_vertex_level(
     one executor task.  Runs the vectorized block kernel when no
     ``embedding_filter`` is installed and every level is resident
     (``use_kernels=False`` forces the scalar path — the parity oracle);
-    otherwise falls back to the scalar per-embedding loop.  Appends the
-    new level to the CSE and returns the per-part stats.  ``tracer``
+    otherwise falls back to the scalar per-embedding loop.
+    ``restrictions`` (a
+    :class:`~repro.core.restrictions.KernelRestrictions` from the level
+    plan) fuses the symmetry-breaking bounds into the kernel gather; it
+    only affects the kernel path — the scalar fallback always runs the
+    unrestricted canonical filter, which emits the same level.  Appends
+    the new level to the CSE and returns the per-part stats.  ``tracer``
     (optional) receives the executor's per-part worker spans.
     """
     dtype = graph.id_dtype
     if embedding_filter is None and use_kernels and cse.block_decodable():
         ctx = kernels.vertex_kernel_context(graph, out_dtype=dtype)
-        factory = _block_task_factory(cse, ctx, VertexBlockTask)
+        factory = _block_task_factory(cse, ctx, VertexBlockTask, restrictions)
     else:
         adjacency = graph.adjacency_sets()
         make_part = partial(_vertex_part_task, graph, adjacency, embedding_filter, dtype)
@@ -544,12 +570,13 @@ def expand_edge_level(
     workers: int = 1,
     tracer: "Tracer | None" = None,
     use_kernels: bool = True,
+    restrictions=None,
 ) -> ExpansionStats:
     """Edge-induced analogue of :func:`expand_vertex_level`."""
     dtype = index.id_dtype
     if embedding_filter is None and use_kernels and cse.block_decodable():
         ctx = kernels.edge_kernel_context(index, out_dtype=dtype)
-        factory = _block_task_factory(cse, ctx, EdgeBlockTask)
+        factory = _block_task_factory(cse, ctx, EdgeBlockTask, restrictions)
     else:
         eu, ev = index.endpoint_lists()
         incident = index.incident_lists()

@@ -23,6 +23,7 @@ __all__ = [
     "CanonicalKey",
     "automorphism_count",
     "automorphisms",
+    "position_orbits",
 ]
 
 
@@ -197,6 +198,35 @@ def automorphisms(pattern: Pattern) -> list[tuple[int, ...]]:
 
     rec(0, {})
     return perms
+
+
+def position_orbits(pattern: Pattern) -> list[tuple[int, ...]]:
+    """Orbits of the pattern's positions under its automorphism group.
+
+    Two positions share an orbit iff some automorphism maps one to the
+    other — they are structurally interchangeable.  The restriction
+    compiler (:mod:`repro.core.restrictions`) breaks exactly these
+    symmetries; orbits are returned sorted (and internally ascending) so
+    callers iterate deterministically.
+    """
+    k = pattern.num_vertices
+    parent = list(range(k))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for perm in automorphisms(pattern):
+        for i in range(k):
+            a, b = find(i), find(perm[i])
+            if a != b:
+                parent[max(a, b)] = min(a, b)
+    by_root: dict[int, list[int]] = {}
+    for i in range(k):
+        by_root.setdefault(find(i), []).append(i)
+    return [tuple(by_root[root]) for root in sorted(by_root)]
 
 
 def automorphism_count(pattern: Pattern) -> int:

@@ -25,12 +25,40 @@ column)`` keys per chunk: group heads dedup the candidate pairs, the key
 order reproduces the scalar loops' ``sorted(candidate set)`` emission
 order, and each head's low bits carry the smallest source column — which
 *is* the canonical filter's first-neighbor (vertex kernel) or arrival
-position (edge kernel).  No binary searches, no ``np.unique`` (whose
-hash-based implementation in recent numpy is an order of magnitude
-slower than a plain sort at these sizes).  The kernels are
-*bit-identical* to the scalar reference (property-tested against it).
-The scalar path remains both the parity oracle and the fallback whenever
-a Python ``embedding_filter`` is installed or a CSE level is spilled.
+position (edge kernel).  No ``np.unique`` (whose hash-based
+implementation in recent numpy is an order of magnitude slower than a
+plain sort at these sizes).
+
+Since the restriction compiler landed there are **two** filter paths:
+
+* **masked** (``restrictions=None``) — generate every neighbor, then
+  apply the canonical clauses as post-hoc boolean masks as described
+  above.  This path examines exactly the candidates the scalar oracle
+  examines (``candidates_examined`` parity) and remains the default at
+  this API level.
+* **fused** (``restrictions=`` a
+  :class:`repro.core.restrictions.KernelRestrictions`) — the
+  symmetry-breaking order becomes per-gather-column *lower bounds*
+  applied during the CSR gather itself: one ``searchsorted`` into the
+  packed sorted adjacency view (:meth:`repro.graph.Graph.adjacency_keys`
+  / :meth:`repro.graph.EdgeIndex.incident_keys`) per chunk skips the
+  filtered candidates instead of materialising and masking them, so
+  ``candidates_examined`` counts only the survivors.  The bounds assume
+  each gather column is the candidate's first adjacency; a cheap
+  verification pass on the (far fewer) dedup heads rejects candidates
+  whose true first adjacency was pruned away — provably exactly the
+  candidates the canonical filter rejects, so emitted levels stay
+  *bit-identical* to the scalar oracle (oracle-differential and
+  property-tested).  The planner turns this path on by default
+  (``Planner(use_restrictions=True)``; ``--no-restrictions`` is the
+  escape hatch).
+
+The scalar path in :mod:`repro.core.explore` keeps the unrestricted
+post-hoc canonical filter: it is the parity oracle for both kernel paths
+and the fallback whenever a Python ``embedding_filter`` override must
+run per candidate or a CSE level is spilled (a non-block-decodable CSE
+never reaches the kernels, so spilled levels always take the masked —
+scalar — route regardless of the plan's restrictions).
 
 The :class:`VertexKernelContext` / :class:`EdgeKernelContext` bundles are
 plain picklable dataclasses so a :class:`repro.core.executor.ProcessExecutor`
@@ -81,7 +109,10 @@ def id_dtype(count: int, boundary: int = _INT32_MAX) -> np.dtype:
 #: The id dtype of an empty id space — the canonical fallback wherever a
 #: sink or level needs a dtype before any ids have been produced.  Using
 #: this instead of a hard-coded ``np.int32`` keeps the selection logic in
-#: exactly one place (and keeps rule R004 quiet).
+#: exactly one place (and keeps rule R004 quiet).  Both kernel paths —
+#: masked and restriction-fused — emit in ``out_dtype`` and do their
+#: packed-key arithmetic in ``int64`` regardless, so the fused path's
+#: ``searchsorted`` bounds widen exactly like the gather keys do.
 DEFAULT_ID_DTYPE = id_dtype(0)
 
 
@@ -96,6 +127,11 @@ class VertexKernelContext:
     indices: np.ndarray
     num_vertices: int
     out_dtype: np.dtype
+    #: Packed sorted adjacency view (``u * n + w``, globally ascending);
+    #: the fused restricted path binary-searches its lower bounds into
+    #: it.  ``None`` only for hand-built contexts that never take that
+    #: path.
+    adjacency_keys: np.ndarray | None = None
 
     kind = "vertex"
 
@@ -112,6 +148,9 @@ class EdgeKernelContext:
     num_vertices: int
     num_edges: int
     out_dtype: np.dtype
+    #: Packed sorted incidence view (``w * m + edge_id``, globally
+    #: ascending) — the edge analogue of ``adjacency_keys``.
+    incident_keys: np.ndarray | None = None
 
     kind = "edge"
 
@@ -119,12 +158,19 @@ class EdgeKernelContext:
 def vertex_kernel_context(
     graph: Graph, out_dtype: np.dtype | None = None
 ) -> VertexKernelContext:
-    """Build the vertex kernel's array bundle from a graph."""
+    """Build the vertex kernel's array bundle from a graph.
+
+    The packed views come from the graph's caches, so every context
+    built from the same graph shares the same array objects — which is
+    what lets :class:`~repro.core.executor.ProcessExecutor` reuse its
+    pool across levels (context matching is by array identity).
+    """
     return VertexKernelContext(
         indptr=graph.indptr,
         indices=graph.indices,
         num_vertices=graph.num_vertices,
         out_dtype=out_dtype if out_dtype is not None else graph.id_dtype,
+        adjacency_keys=graph.adjacency_keys(),
     )
 
 
@@ -141,6 +187,7 @@ def edge_kernel_context(
         num_vertices=index.graph.num_vertices,
         num_edges=index.num_edges,
         out_dtype=out_dtype if out_dtype is not None else index.id_dtype,
+        incident_keys=index.incident_keys(),
     )
 
 
@@ -157,8 +204,20 @@ def _csr_gather(
     cumulative-offset trick that turns per-vertex adjacency walks into
     one flat gather.
     """
-    starts = indptr[keys]
-    lengths = indptr[keys + 1] - starts
+    return _ranged_gather(indptr[keys], indptr[keys + 1], data, owners)
+
+
+def _ranged_gather(
+    starts: np.ndarray, ends: np.ndarray, data: np.ndarray, owners: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``data[starts[i]:ends[i]]`` for every slice.
+
+    The generalisation of :func:`_csr_gather` the fused restricted path
+    needs: its lower bounds move each slice's *start* forward past the
+    candidates the symmetry-breaking order rules out, so they are never
+    gathered at all.
+    """
+    lengths = ends - starts
     total = int(lengths.sum())
     if total == 0:
         return (
@@ -208,27 +267,38 @@ def _mask_members(
 # Vertex-induced kernel
 # ----------------------------------------------------------------------
 def expand_vertex_block(
-    ctx: VertexKernelContext, block: np.ndarray
+    ctx: VertexKernelContext, block: np.ndarray, restrictions=None
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Expand a block of same-length embeddings by one vertex.
 
     ``block`` is ``(rows, k)``: row ``r`` is the vertex tuple of one
-    embedding.  Returns ``(vert, counts, candidates_examined)`` matching
-    :func:`repro.core.explore.expand_vertex_part` exactly: ``vert`` holds
-    the emitted last vertices in embedding order (candidates ascending
-    within each row), ``counts[r]`` how many row ``r`` emitted, and
-    ``candidates_examined`` the deduped candidate total before filtering.
+    embedding.  Returns ``(vert, counts, candidates_examined)``; ``vert``
+    holds the emitted last vertices in embedding order (candidates
+    ascending within each row) and ``counts[r]`` how many row ``r``
+    emitted — both byte-identical to
+    :func:`repro.core.explore.expand_vertex_part`.  With
+    ``restrictions=None`` (the masked path) ``candidates_examined`` also
+    matches the scalar oracle exactly; with a
+    :class:`~repro.core.restrictions.KernelRestrictions` the fused
+    bounds skip filtered candidates during the gather, so it counts only
+    the surviving deduped pairs.
     """
     block = np.ascontiguousarray(block)
     if block.ndim != 2:
         raise ValueError(f"block must be 2-D (rows, k), got shape {block.shape}")
+    _check_restrictions(ctx, block, restrictions)
     rows_total = block.shape[0]
     counts = np.zeros(rows_total, dtype=np.int64)
     pieces: list[np.ndarray] = []
     examined = 0
     for start in range(0, rows_total, BLOCK_ROWS):
         chunk = block[start : start + BLOCK_ROWS]
-        vert, chunk_counts, chunk_examined = _expand_vertex_chunk(ctx, chunk)
+        if restrictions is None:
+            vert, chunk_counts, chunk_examined = _expand_vertex_chunk(ctx, chunk)
+        else:
+            vert, chunk_counts, chunk_examined = _expand_vertex_chunk_fused(
+                ctx, chunk, restrictions
+            )
         counts[start : start + chunk.shape[0]] = chunk_counts
         pieces.append(vert)
         examined += chunk_examined
@@ -237,6 +307,22 @@ def expand_vertex_block(
     else:
         vert = np.zeros(0, dtype=ctx.out_dtype)
     return vert.astype(ctx.out_dtype, copy=False), counts, examined
+
+
+def _check_restrictions(ctx, block: np.ndarray, restrictions) -> None:
+    """Reject restriction bundles laid out for a different kernel/level."""
+    if restrictions is None:
+        return
+    if restrictions.kind != ctx.kind:
+        raise ValueError(
+            f"{restrictions.kind!r} restrictions passed to the {ctx.kind} kernel"
+        )
+    k = block.shape[1]
+    if k and restrictions.level != k:
+        raise ValueError(
+            f"restrictions compiled for level {restrictions.level}, "
+            f"block has depth {k}"
+        )
 
 
 def _expand_vertex_chunk(
@@ -297,30 +383,120 @@ def _expand_vertex_chunk(
     return cands[keep].astype(ctx.out_dtype), counts, examined
 
 
+def _expand_vertex_chunk_fused(
+    ctx: VertexKernelContext, block: np.ndarray, restrictions
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Restriction-fused vertex expansion: bounds applied *in* the gather.
+
+    Gather column ``j`` (embedding position ``j``'s neighbor slice) only
+    admits candidates ``>= lb[r, j] = max(block[r, 0] + 1,
+    suffix_max[r, j + 1])`` — the canonical order's min-id and
+    suffix-order clauses assuming ``j`` is the candidate's first
+    neighbor.  One ``searchsorted`` into the packed ascending
+    ``adjacency_keys`` view moves each slice start past the ruled-out
+    candidates.  Because ``lb`` is non-increasing in ``j``, a deduped
+    head's column ``g`` is the candidate's earliest *surviving*
+    occurrence; if its true first neighbor ``f < g`` was pruned, the
+    pruning itself proves a suffix-order violation at ``f``, so such
+    heads are exactly the canonical filter's rejects — the verification
+    pass below knocks them out by binary-searching ``(block[r, f],
+    cand)`` edges for ``f`` before each head's ``g``.
+    """
+    rows_total, k = block.shape
+    empty = np.zeros(0, dtype=ctx.out_dtype)
+    if rows_total == 0 or k == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+    adjacency_keys = ctx.adjacency_keys
+    if adjacency_keys is None:
+        raise ValueError(
+            "restricted vertex kernel needs a context with adjacency_keys "
+            "(build it with vertex_kernel_context)"
+        )
+    n = ctx.num_vertices
+    block64 = block.astype(np.int64, copy=False)
+    sfx = _suffix_max(block64)
+
+    # Per-(row, column) inclusive lower bounds, flattened like the block.
+    strict = block64[:, restrictions.strict_lower_col, None] + 1
+    cols = np.asarray(restrictions.suffix_from, dtype=np.int64)
+    lb = np.maximum(strict, sfx[:, cols])
+    flat_verts = block64.reshape(-1)
+    slice_ends = ctx.indptr[flat_verts + 1]
+    starts = np.searchsorted(adjacency_keys, flat_verts * n + lb.reshape(-1))
+    np.minimum(starts, slice_ends, out=starts)
+
+    positions = np.arange(rows_total * k, dtype=np.int64)
+    neigh, owner = _ranged_gather(starts, slice_ends, ctx.indices, positions)
+    if neigh.shape[0] == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+
+    # Same one-sort dedup as the masked path: each group head carries the
+    # earliest surviving source column.
+    row = owner // k
+    col = owner - row * k
+    keys = (row * n + neigh) * k + col
+    keys.sort()
+    pair_ids = keys // k
+    head = np.empty(keys.shape, dtype=bool)
+    head[0] = True
+    np.not_equal(pair_ids[1:], pair_ids[:-1], out=head[1:])
+    first_keys = keys[head]
+    pair_ids = pair_ids[head]
+    rows = pair_ids // n
+    cands = pair_ids - rows * n
+    first_nb = first_keys - pair_ids * k
+    examined = int(rows.shape[0])
+
+    keep = np.ones(examined, dtype=bool)
+    _mask_members(keep, pair_ids, block64, n)
+    # First-neighbor verification: reject heads adjacent to an earlier
+    # (pruned) column — at most k - 1 rounds of binary searches over the
+    # heads, not the raw gather.
+    for f in range(k - 1):
+        sel = np.nonzero(keep & (first_nb > f))[0]
+        if sel.shape[0] == 0:
+            continue
+        probe = block64[rows[sel], f] * n + cands[sel]
+        pos = np.searchsorted(adjacency_keys, probe)
+        np.minimum(pos, adjacency_keys.shape[0] - 1, out=pos)
+        keep[sel[adjacency_keys[pos] == probe]] = False
+
+    counts = np.bincount(rows[keep], minlength=rows_total)
+    return cands[keep].astype(ctx.out_dtype), counts, examined
+
+
 # ----------------------------------------------------------------------
 # Edge-induced kernel
 # ----------------------------------------------------------------------
 def expand_edge_block(
-    ctx: EdgeKernelContext, block: np.ndarray
+    ctx: EdgeKernelContext, block: np.ndarray, restrictions=None
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Edge-induced analogue of :func:`expand_vertex_block`.
 
     ``block`` rows hold edge ids; candidates are the edges incident to
     any endpoint of the embedding, filtered by the edge-canonicality rule
     (min-edge-id bound, membership, first-reachable arrival position,
-    suffix order).  Output contract matches
-    :func:`repro.core.explore.expand_edge_part` exactly.
+    suffix order).  Emitted ids and counts match
+    :func:`repro.core.explore.expand_edge_part` exactly on both paths;
+    as in the vertex kernel, ``candidates_examined`` only matches the
+    scalar oracle on the masked path (``restrictions=None``).
     """
     block = np.ascontiguousarray(block)
     if block.ndim != 2:
         raise ValueError(f"block must be 2-D (rows, k), got shape {block.shape}")
+    _check_restrictions(ctx, block, restrictions)
     rows_total = block.shape[0]
     counts = np.zeros(rows_total, dtype=np.int64)
     pieces: list[np.ndarray] = []
     examined = 0
     for start in range(0, rows_total, BLOCK_ROWS):
         chunk = block[start : start + BLOCK_ROWS]
-        vert, chunk_counts, chunk_examined = _expand_edge_chunk(ctx, chunk)
+        if restrictions is None:
+            vert, chunk_counts, chunk_examined = _expand_edge_chunk(ctx, chunk)
+        else:
+            vert, chunk_counts, chunk_examined = _expand_edge_chunk_fused(
+                ctx, chunk, restrictions
+            )
         counts[start : start + chunk.shape[0]] = chunk_counts
         pieces.append(vert)
         examined += chunk_examined
@@ -386,6 +562,88 @@ def _expand_edge_chunk(
     sfx = _suffix_max(block64)
     tail_max = sfx[rows, first + 1]
     np.logical_and(keep, tail_max <= cands, out=keep)
+
+    counts = np.bincount(rows[keep], minlength=rows_total)
+    return cands[keep].astype(ctx.out_dtype), counts, examined
+
+
+def _expand_edge_chunk_fused(
+    ctx: EdgeKernelContext, block: np.ndarray, restrictions
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Restriction-fused edge expansion.
+
+    Endpoint columns ``(2a, 2a + 1)`` belong to embedding edge ``a``, so
+    both share the bound ``lb = max(block[r, 0] + 1, suffix_max[r,
+    a + 1])`` — the edge-canonicality clauses assuming arrival ``a`` is
+    the candidate's first.  ``searchsorted`` into the packed ascending
+    ``incident_keys`` view prunes each incidence slice in place.  Since
+    the two columns of an arrival carry identical bounds, a pruned
+    earlier arrival implies both its columns were pruned, and the same
+    suffix-violation argument as the vertex kernel applies; the
+    verification pass compares each head's candidate endpoints against
+    the endpoint columns before its surviving arrival (direct equality,
+    no searches needed — endpoints are right there in ``ends``).
+    """
+    rows_total, k = block.shape
+    empty = np.zeros(0, dtype=ctx.out_dtype)
+    if rows_total == 0 or k == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+    incident_keys = ctx.incident_keys
+    if incident_keys is None:
+        raise ValueError(
+            "restricted edge kernel needs a context with incident_keys "
+            "(build it with edge_kernel_context)"
+        )
+    m = ctx.num_edges
+    block64 = block.astype(np.int64, copy=False)
+    sfx = _suffix_max(block64)
+
+    ends = np.empty((rows_total, 2 * k), dtype=np.int64)
+    ends[:, 0::2] = ctx.edge_u[block64]
+    ends[:, 1::2] = ctx.edge_v[block64]
+
+    strict = block64[:, restrictions.strict_lower_col, None] + 1
+    cols = np.asarray(restrictions.suffix_from, dtype=np.int64)
+    lb = np.maximum(strict, sfx[:, cols])
+    flat_ends = ends.reshape(-1)
+    slice_ends = ctx.inc_indptr[flat_ends + 1]
+    starts = np.searchsorted(incident_keys, flat_ends * m + lb.reshape(-1))
+    np.minimum(starts, slice_ends, out=starts)
+
+    width = 2 * k
+    positions = np.arange(rows_total * width, dtype=np.int64)
+    inc, owner = _ranged_gather(starts, slice_ends, ctx.incident, positions)
+    if inc.shape[0] == 0:
+        return empty, np.zeros(rows_total, dtype=np.int64), 0
+
+    row = owner // width
+    col = owner - row * width
+    keys = (row * m + inc) * width + col
+    keys.sort()
+    pair_ids = keys // width
+    head = np.empty(keys.shape, dtype=bool)
+    head[0] = True
+    np.not_equal(pair_ids[1:], pair_ids[:-1], out=head[1:])
+    first_keys = keys[head]
+    pair_ids = pair_ids[head]
+    rows = pair_ids // m
+    cands = pair_ids - rows * m
+    first = (first_keys - pair_ids * width) // 2
+    examined = int(rows.shape[0])
+
+    keep = np.ones(examined, dtype=bool)
+    _mask_members(keep, pair_ids, block64, m)
+    # First-arrival verification: reject heads incident to an endpoint of
+    # an earlier (pruned) arrival.
+    cand_u = ctx.edge_u[cands].astype(np.int64, copy=False)
+    cand_v = ctx.edge_v[cands].astype(np.int64, copy=False)
+    for f in range(width - 2):
+        sel = np.nonzero(keep & (first > f // 2))[0]
+        if sel.shape[0] == 0:
+            continue
+        endpoint = ends[rows[sel], f]
+        hit = (cand_u[sel] == endpoint) | (cand_v[sel] == endpoint)
+        keep[sel[hit]] = False
 
     counts = np.bincount(rows[keep], minlength=rows_total)
     return cands[keep].astype(ctx.out_dtype), counts, examined

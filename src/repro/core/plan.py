@@ -26,6 +26,13 @@ from ..graph.graph import Graph
 from .api import EngineContext, MiningApplication
 from .cse import CSE
 from .explore import InMemorySink, LevelSink, even_parts
+from .restrictions import (
+    KernelRestrictions,
+    LevelConstraint,
+    RestrictionSet,
+    canonical_level_restrictions,
+    compile_restrictions,
+)
 
 __all__ = ["LevelPlan", "AggregatePlan", "Planner"]
 
@@ -54,6 +61,16 @@ class LevelPlan:
     #: "async+prefetch", or "sync+no-prefetch" after degradation) —
     #: "memory" when no policy was consulted.
     io_mode: str = "memory"
+    #: Fused symmetry-breaking bounds for this level's kernel gather
+    #: (:func:`repro.core.restrictions.canonical_level_restrictions`), or
+    #: None when restrictions are disabled.  Ignored by the scalar
+    #: fallback, which keeps the unrestricted canonical filter.
+    restrictions: KernelRestrictions | None = None
+    #: The query pattern's ordering constraints on the vertex this level
+    #: binds (from the app's compiled
+    #: :class:`~repro.core.restrictions.RestrictionSet`), or None when
+    #: the app mines no single pattern or the level is past the pattern.
+    pattern_constraints: LevelConstraint | None = None
 
     @property
     def num_parts(self) -> int:
@@ -86,6 +103,7 @@ class Planner:
         use_prediction: bool = True,
         storage_mode: str = "auto",
         max_embeddings: int | None = None,
+        use_restrictions: bool = True,
     ) -> None:
         self.graph = graph
         self.policy = policy
@@ -94,6 +112,32 @@ class Planner:
         self.use_prediction = use_prediction
         self.storage_mode = storage_mode
         self.max_embeddings = max_embeddings
+        #: Whether plans carry fused symmetry-breaking restrictions for
+        #: the kernels (the engine's --no-restrictions escape hatch
+        #: clears it; results are byte-identical either way).
+        self.use_restrictions = use_restrictions
+        #: The active app's compiled pattern restrictions, set by the
+        #: engine at the start of each run (None between runs or for
+        #: apps without a single query pattern).
+        self.active_restriction_set: RestrictionSet | None = None
+        self._pattern_cache: dict[object, RestrictionSet] = {}
+
+    def pattern_restrictions(self, app: MiningApplication) -> RestrictionSet | None:
+        """Compile (and memoise) the app's query-pattern restriction set.
+
+        Apps expose their pattern through
+        :meth:`~repro.core.api.MiningApplication.query_pattern`; apps
+        that mine all patterns at once (FSM, motif counting) return
+        None and get no pattern-level restrictions.
+        """
+        pattern = app.query_pattern()
+        if pattern is None:
+            return None
+        cached = self._pattern_cache.get(pattern)
+        if cached is None:
+            cached = compile_restrictions(pattern)
+            self._pattern_cache[pattern] = cached
+        return cached
 
     @property
     def num_parts(self) -> int:
@@ -145,6 +189,15 @@ class Planner:
             )
             spill = not isinstance(sink, InMemorySink)
             io_mode = self.policy.io_mode
+        restrictions = None
+        if self.use_restrictions:
+            kind = "edge" if ctx.edge_index is not None else "vertex"
+            restrictions = canonical_level_restrictions(kind, cse.depth)
+        pattern_constraints = None
+        rset = self.active_restriction_set
+        if rset is not None and cse.depth < rset.num_vertices:
+            # This expansion binds pattern position `depth` (0-based).
+            pattern_constraints = rset.constraints_at(cse.depth)
         return LevelPlan(
             depth=cse.depth,
             size=cse.size(),
@@ -154,6 +207,8 @@ class Planner:
             spill=spill,
             sink=sink,
             io_mode=io_mode,
+            restrictions=restrictions,
+            pattern_constraints=pattern_constraints,
         )
 
     def plan_aggregate(

@@ -1,0 +1,248 @@
+"""Symmetry-breaking restriction compilation (GraphZero, PAPERS.md).
+
+A pattern with a non-trivial automorphism group is found once per
+automorphic relabeling unless the enumeration breaks the symmetry.
+GraphZero's observation is that the entire Definition-2 canonical filter
+can be replaced by a small *partial order* over pattern-vertex ids — a
+handful of ``<`` comparisons — derived from the automorphism group, and
+that those comparisons can be *fused into candidate generation* as range
+constraints instead of running as a post-hoc filter.
+
+This module provides both layers:
+
+* **Pattern restrictions** — :func:`compile_restrictions` turns a query
+  :class:`~repro.core.pattern.Pattern` into a minimal
+  :class:`RestrictionSet` via the stabilizer-chain construction: walk
+  positions in ascending order, emit ``p < q`` for every other member
+  ``q`` of ``p``'s orbit under the *remaining* group, then shrink the
+  group to the stabilizer of ``p``.  A transitive reduction keeps the
+  set minimal.  The defining property (hypothesis-tested): for any
+  injective assignment of data vertices to pattern positions, **exactly
+  one** member of its automorphism orbit satisfies the set.
+* **Kernel restrictions** — :func:`canonical_level_restrictions`
+  expresses the engine's generic Definition-2 canonical order (the
+  symmetry-breaking rule the *all-subgraph* enumeration uses, of which
+  the pattern sets above are the per-pattern specialisation) as
+  per-gather-column inclusive lower bounds.  The vectorized kernels
+  (:mod:`repro.core.kernels`) apply them during the CSR gather with
+  ``searchsorted`` on the packed sorted adjacency view, so filtered
+  candidates are never materialised at all.
+
+The scalar oracle (:mod:`repro.core.explore`) keeps the unrestricted
+post-hoc canonical filter and remains the parity baseline: restricted
+kernels must emit byte-identical levels (oracle-differential tested in
+``tests/core/test_restrictions.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .isomorphism import automorphisms
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pattern import Pattern
+
+__all__ = [
+    "Restriction",
+    "RestrictionSet",
+    "LevelConstraint",
+    "compile_restrictions",
+    "KernelRestrictions",
+    "canonical_level_restrictions",
+]
+
+
+# ----------------------------------------------------------------------
+# Pattern layer: automorphism-derived partial orders
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, order=True)
+class Restriction:
+    """One partial-order constraint: the data vertex bound to position
+    ``smaller`` must have a smaller id than the one bound to ``larger``.
+
+    The stabilizer-chain construction only ever emits ``smaller <
+    larger`` as *positions* too, so restriction endpoints are always
+    ascending position pairs.
+    """
+
+    smaller: int
+    larger: int
+
+
+@dataclass(frozen=True)
+class LevelConstraint:
+    """The ordering constraints binding one pattern position.
+
+    When exploration binds position ``d`` (level ``d + 1`` of the CSE),
+    the candidate's id must exceed every already-bound column in
+    ``lower_cols`` and stay below every column in ``upper_cols``.  With
+    the stabilizer-chain construction ``upper_cols`` is always empty
+    (restrictions point forward), but the split stays general so
+    hand-built sets round-trip too.
+    """
+
+    position: int
+    lower_cols: tuple[int, ...]
+    upper_cols: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RestrictionSet:
+    """A minimal symmetry-breaking partial order over pattern positions."""
+
+    num_vertices: int
+    restrictions: tuple[Restriction, ...]
+
+    def __post_init__(self) -> None:
+        for r in self.restrictions:
+            if not 0 <= r.smaller < self.num_vertices:
+                raise ValueError(f"restriction {r} out of range")
+            if not 0 <= r.larger < self.num_vertices:
+                raise ValueError(f"restriction {r} out of range")
+            if r.smaller == r.larger:
+                raise ValueError(f"restriction {r} is reflexive")
+
+    def accepts(self, binding: Sequence[int]) -> bool:
+        """Whether an assignment (position → data-vertex id) satisfies
+        every restriction.  ``binding`` must cover all positions."""
+        if len(binding) != self.num_vertices:
+            raise ValueError(
+                f"binding of length {len(binding)} for a "
+                f"{self.num_vertices}-position restriction set"
+            )
+        return all(binding[r.smaller] < binding[r.larger] for r in self.restrictions)
+
+    def constraints_at(self, position: int) -> LevelConstraint:
+        """The constraints active when ``position`` is the one being bound
+        (all positions below it already bound, in order)."""
+        lower = tuple(
+            sorted(r.smaller for r in self.restrictions if r.larger == position and r.smaller < position)
+        )
+        upper = tuple(
+            sorted(r.larger for r in self.restrictions if r.smaller == position and r.larger < position)
+        )
+        return LevelConstraint(position=position, lower_cols=lower, upper_cols=upper)
+
+    def level_constraints(self) -> tuple[LevelConstraint, ...]:
+        """Per-position constraint split for positions ``1..k-1`` — the
+        form a plan attaches so each expansion level carries exactly the
+        comparisons its newly-bound vertex must satisfy."""
+        return tuple(
+            self.constraints_at(position) for position in range(1, self.num_vertices)
+        )
+
+
+def compile_restrictions(pattern: "Pattern") -> RestrictionSet:
+    """GraphZero's symmetry-breaking construction for a query pattern.
+
+    Walk positions in ascending order; for each position ``p``, emit
+    ``p < q`` for every *other* member ``q`` of ``p``'s orbit under the
+    group that remains after stabilizing all earlier positions, then
+    reduce the group to the stabilizer of ``p``.  Because every earlier
+    position is already fixed, orbit members are always ``> p``, so the
+    emitted pairs form a DAG over ascending positions; a transitive
+    reduction makes the set minimal.
+
+    The construction guarantees exactly one representative per
+    automorphism orbit: at each step the emitted comparisons pick the
+    orbit member with the smallest data id for position ``p``, which
+    pins down the coset of the stabilizer the surviving assignment lives
+    in; induction over the chain leaves a single assignment.
+    """
+    k = pattern.num_vertices
+    group = automorphisms(pattern)
+    pairs: set[tuple[int, int]] = set()
+    for p in range(k):
+        orbit = sorted({perm[p] for perm in group})
+        for q in orbit:
+            if q != p:
+                pairs.add((p, q))
+        group = [perm for perm in group if perm[p] == p]
+    reduced = _transitive_reduction(pairs, k)
+    return RestrictionSet(
+        num_vertices=k,
+        restrictions=tuple(Restriction(a, b) for a, b in sorted(reduced)),
+    )
+
+
+def _transitive_reduction(pairs: set[tuple[int, int]], k: int) -> set[tuple[int, int]]:
+    """Minimal edge set with the same transitive closure (DAG input)."""
+    reach = [[False] * k for _ in range(k)]
+    for a, b in pairs:
+        reach[a][b] = True
+    for mid in range(k):
+        for a in range(k):
+            if reach[a][mid]:
+                row_a, row_m = reach[a], reach[mid]
+                for b in range(k):
+                    if row_m[b]:
+                        row_a[b] = True
+    kept: set[tuple[int, int]] = set()
+    for a, b in pairs:
+        redundant = any(
+            mid != a and mid != b and reach[a][mid] and reach[mid][b]
+            for mid in range(k)
+        )
+        if not redundant:
+            kept.add((a, b))
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Kernel layer: fused lower bounds for the vectorized gathers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelRestrictions:
+    """The canonical symmetry-breaking order compiled to gather bounds.
+
+    For a block of depth-``level`` embeddings, gather column ``c`` (an
+    embedding position for the vertex kernel, an endpoint occurrence for
+    the edge kernel) admits candidate ids ``>= max(block[:,
+    strict_lower_col] + 1, suffix_max[:, suffix_from[c]])``: the strict
+    min-id bound plus the suffix-order clause *assuming ``c`` is the
+    candidate's first adjacency/arrival*.  Both bounds are non-increasing
+    in ``c``, so the kernels apply them with one ``searchsorted`` into
+    the packed sorted adjacency view per gather column and verify the
+    first-adjacency assumption only on the surviving group heads (see
+    :mod:`repro.core.kernels`).
+    """
+
+    #: "vertex" or "edge" — which kernel the bounds were laid out for.
+    kind: str
+    #: Embedding depth (block column count) these bounds apply to.
+    level: int
+    #: Block column whose value is a *strict* lower bound (min-id rule).
+    strict_lower_col: int
+    #: Per gather column: the suffix-max column giving the inclusive
+    #: lower bound when this column is the candidate's first adjacency.
+    suffix_from: tuple[int, ...]
+
+    @property
+    def num_gather_cols(self) -> int:
+        return len(self.suffix_from)
+
+
+def canonical_level_restrictions(kind: str, level: int) -> KernelRestrictions:
+    """Fused-bound form of the Definition-2 canonical order at ``level``.
+
+    Vertex kernel: gather column ``j`` holds embedding position ``j``'s
+    neighbor list; if ``j`` is the candidate's first neighbor, the
+    suffix clause requires ``candidate >= max(embedding[j+1:])`` —
+    suffix-max column ``j + 1``.  Edge kernel: columns ``(2a, 2a+1)``
+    are the endpoints of embedding edge ``a``, so both map to suffix-max
+    column ``a + 1``.  Both kernels additionally require ``candidate >
+    embedding[0]`` (the min-id rule), hence ``strict_lower_col = 0``.
+    """
+    if level <= 0:
+        raise ValueError(f"level must be positive, got {level}")
+    if kind == "vertex":
+        suffix_from = tuple(range(1, level + 1))
+    elif kind == "edge":
+        suffix_from = tuple(c // 2 + 1 for c in range(2 * level))
+    else:
+        raise ValueError(f"unknown kernel kind {kind!r}")
+    return KernelRestrictions(
+        kind=kind, level=level, strict_lower_col=0, suffix_from=suffix_from
+    )

@@ -26,6 +26,7 @@ class EdgeIndex:
         self._u_list: list[int] | None = None
         self._v_list: list[int] | None = None
         self._incident_lists: list[list[int]] | None = None
+        self._incident_keys: np.ndarray | None = None
         m = eu.shape[0]
         n = graph.num_vertices
         endpoints = np.concatenate([eu, ev]).astype(np.int64)
@@ -54,6 +55,26 @@ class EdgeIndex:
         """The vertex → incident-edge CSR pair ``(indptr, incident)`` —
         the arrays the vectorized edge-expansion kernel gathers from."""
         return self.indptr, self.incident
+
+    def incident_keys(self) -> np.ndarray:
+        """Packed sorted incidence view: ``vertex * num_edges + edge_id``
+        for every incidence, in CSR order.
+
+        Incident lists are sorted per vertex and vertices are contiguous
+        in the CSR, so the packed array is globally ascending — one
+        ``searchsorted`` finds the first incident edge id ``>= bound``
+        within any vertex's slice, which is how the restricted edge
+        kernel fuses its symmetry-breaking lower bounds into the gather.
+        Cached so repeated kernel-context builds reuse one array (the
+        process executor keys pool reuse on context-array identity).
+        """
+        if self._incident_keys is None:
+            counts = np.diff(self.indptr)
+            owners = np.repeat(
+                np.arange(self.graph.num_vertices, dtype=np.int64), counts
+            )
+            self._incident_keys = owners * self.num_edges + self.incident
+        return self._incident_keys
 
     def endpoints(self, edge_id: int) -> tuple[int, int]:
         """The ``(u, v)`` endpoints (``u < v``) of an edge id."""

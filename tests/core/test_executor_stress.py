@@ -47,12 +47,16 @@ EXECUTORS = {
 }
 
 
-def _run(graph, make_app, make_executor):
+def _run(graph, make_app, make_executor, use_restrictions=True):
     tracer = Tracer()
     executor = make_executor()
     try:
         with KaleidoEngine(
-            graph, workers=4, executor=executor, tracer=tracer
+            graph,
+            workers=4,
+            executor=executor,
+            tracer=tracer,
+            use_restrictions=use_restrictions,
         ) as engine:
             result = engine.run(make_app())
     finally:
@@ -64,25 +68,29 @@ def _run(graph, make_app, make_executor):
 @pytest.mark.parametrize("seed", [11, 23])
 @pytest.mark.parametrize("app_name", sorted(APPS))
 def test_executors_agree_on_results_and_span_shape(seed, app_name):
+    """Every executor, with *and without* fused restrictions, produces
+    byte-identical pattern maps and identical span-tree shapes."""
     graph = random_labeled_graph(30, 70, 3, seed=seed)
     results = {}
     shapes = {}
     for exec_name, make_executor in EXECUTORS.items():
-        results[exec_name], shapes[exec_name] = _run(
-            graph, APPS[app_name], make_executor
-        )
+        for restricted in (True, False):
+            key = (exec_name, restricted)
+            results[key], shapes[key] = _run(
+                graph, APPS[app_name], make_executor, use_restrictions=restricted
+            )
 
-    baseline = results["serial"]
-    for exec_name, result in results.items():
+    baseline = results[("serial", True)]
+    for key, result in results.items():
         assert result.pattern_map == baseline.pattern_map, (
-            f"{app_name} pattern map differs under {exec_name} (seed {seed})"
+            f"{app_name} pattern map differs under {key} (seed {seed})"
         )
         assert result.level_sizes == baseline.level_sizes
 
-    baseline_shape = shapes["serial"]
-    for exec_name, shape in shapes.items():
+    baseline_shape = shapes[("serial", True)]
+    for key, shape in shapes.items():
         assert shape == baseline_shape, (
-            f"{app_name} span-tree shape differs under {exec_name} (seed {seed})"
+            f"{app_name} span-tree shape differs under {key} (seed {seed})"
         )
 
 

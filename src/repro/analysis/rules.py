@@ -445,7 +445,7 @@ class DeterminismRule(Rule):
 class TracerGuardRule(Rule):
     id = "R003"
     title = "tracer probes in hot paths must check tracer.enabled"
-    scope = ("core/kernels.py", "core/explore.py", "storage/")
+    scope = ("core/kernels.py", "core/explore.py", "core/shm.py", "storage/")
 
     PROBES = frozenset({"begin", "end", "instant", "complete"})
 
@@ -522,6 +522,7 @@ class DtypeDisciplineRule(Rule):
         "core/plan.py",
         "core/explore.py",
         "core/restrictions.py",
+        "core/shm.py",
         "storage/spill.py",
         "storage/hybrid.py",
         "storage/checkpoint.py",

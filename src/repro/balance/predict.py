@@ -11,13 +11,105 @@ degrees.
 
 from __future__ import annotations
 
+import math
+from dataclasses import asdict, dataclass
+
 import numpy as np
 
 from ..core.cse import CSE
 from ..graph.edge_index import EdgeIndex
 from ..graph.graph import Graph
 
-__all__ = ["predict_vertex_costs", "predict_edge_costs", "merged_size"]
+__all__ = [
+    "predict_vertex_costs",
+    "predict_edge_costs",
+    "merged_size",
+    "IOPlan",
+    "plan_io",
+]
+
+
+# ----------------------------------------------------------------------
+# I/O-driven adaptive scheduling (Silvestri's I/O-complexity bounds)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IOPlan:
+    """The adaptive scheduler's choice for one spilled level.
+
+    ``part_entries`` is the spill-part granularity ``B`` (ids per part)
+    and ``prefetch_depth`` the number of candidate parts read ahead of
+    the main part; ``window_bytes`` is the resulting resident window.
+    ``source`` records whether measured rates drove the choice
+    (``"measured"``) or the defaults did (``"default"``).
+    """
+
+    part_entries: int
+    prefetch_depth: int
+    bytes_per_entry: int
+    window_bytes: int
+    read_bps: float | None = None
+    compute_bps: float | None = None
+    source: str = "default"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def plan_io(
+    predicted_entries: int,
+    bytes_per_entry: int,
+    headroom_bytes: int | None = None,
+    read_bps: float | None = None,
+    compute_bps: float | None = None,
+    max_prefetch_depth: int = 8,
+    min_part_entries: int = 1 << 12,
+    max_part_entries: int = 1 << 20,
+    default_part_entries: int = 1 << 16,
+) -> IOPlan:
+    """Pick the spill-part size and prefetch depth for one level.
+
+    Silvestri's I/O-complexity analysis of subgraph enumeration bounds
+    the I/O of a level scan by ``O(E_l · b / B)`` block transfers — I/O
+    cost falls linearly in the block (part) size ``B``, so within the
+    memory budget ``M`` the scheduler should make parts as large as the
+    resident window allows rather than use a fixed knob.  Prefetch depth
+    follows from rate matching: with the engine computing at
+    ``compute_bps`` and the device delivering ``read_bps``, hiding the
+    read of the next part behind the compute of the current one needs
+    ``ceil(compute_bps / read_bps)`` candidate reads in flight
+    (clamped to ``[1, max_prefetch_depth]``).  The window
+    ``(1 + depth) · B · b`` is held to about a quarter of the measured
+    headroom so the level's own output and the off arrays keep their
+    share of ``M``.
+    """
+    bytes_per_entry = max(1, int(bytes_per_entry))
+    if read_bps and compute_bps and read_bps > 0 and compute_bps > 0:
+        depth = int(math.ceil(compute_bps / read_bps))
+        depth = max(1, min(max_prefetch_depth, depth))
+        source = "measured"
+    else:
+        depth = 1
+        source = "default"
+    if headroom_bytes is not None and headroom_bytes > 0:
+        window_budget = headroom_bytes // 4
+        part_entries = window_budget // ((1 + depth) * bytes_per_entry)
+    else:
+        part_entries = default_part_entries
+    part_entries = max(min_part_entries, min(max_part_entries, int(part_entries)))
+    # No point cutting parts larger than the level itself.
+    if predicted_entries > 0:
+        part_entries = min(
+            part_entries, max(min_part_entries, int(predicted_entries))
+        )
+    return IOPlan(
+        part_entries=part_entries,
+        prefetch_depth=depth,
+        bytes_per_entry=bytes_per_entry,
+        window_bytes=(1 + depth) * part_entries * bytes_per_entry,
+        read_bps=read_bps,
+        compute_bps=compute_bps,
+        source=source,
+    )
 
 
 def merged_size(a: np.ndarray, b: np.ndarray) -> int:

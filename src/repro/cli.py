@@ -114,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on in-flight arrays in the background writing queue",
     )
     mine.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=1,
+        help="baseline candidate parts read ahead of the main part "
+        "(default 1; the adaptive scheduler may raise it per level)",
+    )
+    mine.add_argument(
+        "--io-plan",
+        default="adaptive",
+        choices=["adaptive", "fixed"],
+        help="'adaptive' (default) derives spill part size and prefetch "
+        "depth per level from the memory headroom and measured I/O vs "
+        "compute rates; 'fixed' keeps the static knobs",
+    )
+    mine.add_argument(
         "--sanitize",
         action="store_true",
         help="run under the part-purity sanitizer: any shared-state write "
@@ -282,6 +297,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         use_prediction=not args.no_prediction,
         executor=args.executor,
         queue_maxsize=args.queue_maxsize,
+        prefetch_depth=args.prefetch_depth,
+        adaptive_io=(args.io_plan == "adaptive"),
         io_retry=RetryPolicy(attempts=args.io_retries),
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
@@ -312,6 +329,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "io_retries": result.extra.get("io_retries"),
             "io_failed_deletes": result.extra.get("io_failed_deletes"),
             "io_mode": result.extra.get("io_mode"),
+            "io_plan": result.extra.get("io_plan"),
             "degradations": result.extra.get("degradations"),
             "resumed_from_level": result.extra.get("resumed_from_level"),
             "checkpoints_written": result.extra.get("checkpoints_written"),

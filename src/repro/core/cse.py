@@ -27,7 +27,30 @@ from typing import Iterator, Protocol, Sequence
 
 import numpy as np
 
-__all__ = ["Level", "InMemoryLevel", "CSE"]
+__all__ = ["Level", "InMemoryLevel", "CSE", "decode_block_arrays"]
+
+
+def decode_block_arrays(verts, offs, start: int, end: int) -> np.ndarray:
+    """Decode embeddings ``start..end`` from raw per-level accessors.
+
+    ``verts[l]`` is anything supporting a fancy gather with an int64
+    position array (an ndarray, a shared-memory view, or a
+    :class:`repro.core.shm.PartedVector` over memmapped spill parts);
+    ``offs[l]`` is the level's offset ndarray (``None`` at the root).
+    This is the worker-side decode used by zero-copy block tasks, and the
+    single implementation :meth:`CSE.decode_block` delegates to.
+    """
+    positions = np.arange(start, end, dtype=np.int64)
+    columns: list[np.ndarray] = []
+    for l in range(len(verts) - 1, 0, -1):
+        columns.append(np.asarray(verts[l][positions]))
+        off = offs[l]
+        if off is None:
+            raise ValueError(f"level {l} off array unavailable for decoding")
+        positions = np.searchsorted(off, positions, side="right") - 1
+    columns.append(np.asarray(verts[0][positions]))
+    columns.reverse()
+    return np.stack(columns, axis=1)
 
 
 class Level(Protocol):
@@ -224,16 +247,19 @@ class CSE:
     def block_decodable(self, level_idx: int | None = None) -> bool:
         """Whether :meth:`decode_block` may run for ``level_idx``.
 
-        Requires every level up to ``level_idx`` to be fully in memory:
-        block decoding gathers with fancy indexing on the whole ``vert``
-        arrays, and doing that against a spilled level would silently
-        materialise it — the streaming tuple walk stays the right tool
-        there.
+        Requires every level up to ``level_idx`` to either be fully in
+        memory or advertise ``supports_block_decode`` (a memmap-backed
+        :class:`repro.storage.spill.SpilledLevel` gathers through a
+        parted view over its part files without materialising the level).
+        A plain payload-served spilled level still forces the streaming
+        tuple walk.
         """
         if level_idx is None:
             level_idx = self.depth - 1
         return all(
-            isinstance(self.levels[l], InMemoryLevel) for l in range(level_idx + 1)
+            isinstance(self.levels[l], InMemoryLevel)
+            or getattr(self.levels[l], "supports_block_decode", False)
+            for l in range(level_idx + 1)
         )
 
     def decode_block(self, start: int, end: int, level_idx: int | None = None) -> np.ndarray:
@@ -254,20 +280,14 @@ class CSE:
         total = self.levels[level_idx].num_embeddings
         if not 0 <= start <= end <= total:
             raise IndexError(f"block [{start}, {end}) outside level of {total}")
-        positions = np.arange(start, end, dtype=np.int64)
-        columns: list[np.ndarray] = []
-        for l in range(level_idx, 0, -1):
+        verts = []
+        offs = []
+        for l in range(level_idx + 1):
             level = self.levels[l]
-            columns.append(level.vert_array()[positions])
-            off = level.off_array()
-            if off is None:
-                raise ValueError(f"level {l} off array unavailable for decoding")
-            positions = np.searchsorted(off, positions, side="right") - 1
-        columns.append(self.levels[0].vert_array()[positions])
-        columns.reverse()
-        if not columns:  # pragma: no cover - level_idx >= 0 always holds
-            return np.zeros((end - start, 0), dtype=np.int64)
-        return np.stack(columns, axis=1)
+            accessor = getattr(level, "vert_accessor", None)
+            verts.append(accessor() if callable(accessor) else level.vert_array())
+            offs.append(level.off_array())
+        return decode_block_arrays(verts, offs, start, end)
 
     def iter_with_parents(self) -> Iterator[tuple[int, int, tuple[int, ...]]]:
         """Like :meth:`iter_embeddings` on the top level but also yields the

@@ -50,6 +50,7 @@ from .cse import CSE
 from .eigenhash import PatternHasher
 from .executor import PartExecutor, resolve_executor
 from .explore import expand_edge_level, expand_vertex_level
+from .kernels import DEFAULT_ID_DTYPE
 from .plan import Planner
 
 #: Storage failures the engine responds to by degrading the I/O mode
@@ -188,6 +189,8 @@ class KaleidoEngine:
         parts_per_worker: int = 4,
         synchronous_io: bool = False,
         prefetch: bool = True,
+        prefetch_depth: int = 1,
+        adaptive_io: bool = True,
         max_embeddings: int | None = None,
         executor: "str | PartExecutor" = "serial",
         queue_maxsize: int = 16,
@@ -242,6 +245,8 @@ class KaleidoEngine:
             retry=io_retry,
             tracer=self.tracer,
             metrics=self.metrics,
+            prefetch_depth=prefetch_depth,
+            adaptive_io=adaptive_io,
         )
         #: Whether plans fuse symmetry-breaking restrictions into the
         #: vectorized kernels (the --no-restrictions escape hatch turns
@@ -436,7 +441,17 @@ class KaleidoEngine:
                         execute_seconds += time.perf_counter() - stage_started
                         self._degrade_or_raise("execute", exc)
                         continue
-                    execute_seconds += time.perf_counter() - stage_started
+                    stage_elapsed = time.perf_counter() - stage_started
+                    execute_seconds += stage_elapsed
+                    # Feed the adaptive I/O scheduler: this level's compute
+                    # rate (emitted bytes / wall) and the store's read-rate
+                    # deltas steer the next level's part size and depth.
+                    self._policy.observe_level(
+                        stats.emitted,
+                        stats.emitted
+                        * getattr(cse.top, "dtype", DEFAULT_ID_DTYPE).itemsize,
+                        stage_elapsed,
+                    )
                     break
 
                 schedule = stats.schedule
@@ -522,6 +537,11 @@ class KaleidoEngine:
                 "spilled_levels": self._policy.spilled_levels,
                 "demoted_levels": self._policy.demoted_levels,
                 "io_mode": self._policy.io_mode,
+                "io_plan": (
+                    None
+                    if self._policy.last_io_plan is None
+                    else self._policy.last_io_plan.as_dict()
+                ),
                 "degradations": list(self._policy.degradations),
                 "resumed_from_level": resumed_from,
                 "checkpoints_written": self._checkpoints_written,

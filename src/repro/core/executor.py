@@ -34,7 +34,6 @@ it always happens in part-index order.
 
 from __future__ import annotations
 
-import dataclasses
 import multiprocessing
 import os
 import threading
@@ -44,11 +43,9 @@ from dataclasses import dataclass, field
 from itertools import chain
 from typing import Any, Callable, Iterable
 
-import numpy as np
-
 from ..balance.worksteal import Schedule, TaskInterval, simulate_work_stealing
 from ..obs.trace import Tracer
-from . import kernels
+from . import kernels, shm
 
 __all__ = [
     "ExecutionReport",
@@ -365,47 +362,52 @@ def _timed_process_task(index: int, task: Callable[[], Any]):
 
 
 def _contexts_match(a: Any, b: Any) -> bool:
-    """Whether two kernel contexts describe the same arrays.
+    """Whether two kernel contexts describe the same data.
 
-    Contexts are rebuilt per level but wrap arrays cached on the graph /
-    edge index, so identity comparison on the array fields is exact and
-    never touches array contents.
+    Keys on :func:`repro.core.shm.context_fingerprint` — a content hash
+    memoized per array object — rather than ndarray identity, so a warm
+    process pool survives a context rebuilt around equal arrays (two
+    ``engine.run`` calls on one engine reuse one pool).  The common case
+    (same cached graph arrays, hence memo hits) never re-reads contents.
     """
     if a is b:
         return True
     if a is None or b is None or type(a) is not type(b):
         return False
-    for f in dataclasses.fields(a):
-        x, y = getattr(a, f.name), getattr(b, f.name)
-        if isinstance(x, np.ndarray):
-            if x is not y:
-                return False
-        elif x != y:
-            return False
-    return True
+    return shm.context_fingerprint(a) == shm.context_fingerprint(b)
 
 
 class ProcessExecutor(PartExecutor):
     """Real process-pool execution of block tasks (no GIL, own memory).
 
     Workers are spawned (fork-safety: the coordinator holds live threads
-    and numpy state) and each receives the run's *shared context* — the
+    and numpy state) and each attaches to the run's *shared context* — the
     kernel's graph-array bundle, read off the first task's
-    ``shared_context`` attribute — exactly once via the pool initializer
-    (:func:`repro.core.kernels.install_worker_context`).  Task pickles
-    then carry only their embedding block; results return as pickled
+    ``shared_context`` attribute, exported once into a
+    :class:`repro.core.shm.SharedKernelContext` segment — by name via the
+    pool initializer (:func:`repro.core.kernels.install_worker_context`).
+    Task pickles then carry only block *bounds* (the expansion driver
+    shares the CSE level arrays the same way); results return as pickled
     :class:`~repro.core.explore.PartExpansion` objects.
 
     The pool persists across ``run`` calls (one spawn per engine run, not
-    per level) and is rebuilt only when the context arrays or the worker
-    count change.  Tasks *without* a shared context — aggregation
-    closures, scalar-fallback parts closing over unpicklable graph
-    objects — run inline on the coordinating thread instead, so the
-    executor is a drop-in for every engine stage.  Call :meth:`close`
-    (the engine does) to reap the workers.
+    per level) and is rebuilt only when the context *contents* or the
+    worker count change — :func:`_contexts_match` keys on content
+    fingerprints, so per-level context rebuilds keep the warm pool.
+    Tasks *without* a shared context — aggregation closures,
+    scalar-fallback parts closing over unpicklable graph objects — run
+    inline on the coordinating thread instead, so the executor is a
+    drop-in for every engine stage.  Call :meth:`close` (the engine does)
+    to reap the workers and unlink the shared segment — close is safe to
+    call repeatedly and runs on mid-run failures too, so crash paths
+    leak nothing.
     """
 
     name = "processes"
+
+    #: The expansion driver checks this to share CSE levels by name
+    #: instead of pickling decoded blocks into every task.
+    zero_copy = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers <= 0:
@@ -414,6 +416,9 @@ class ProcessExecutor(PartExecutor):
         self._pool: _futures.ProcessPoolExecutor | None = None
         self._pool_ctx: Any = None
         self._pool_size = 0
+        self._shared_ctx: "shm.SharedKernelContext | None" = None
+        #: Spawn count, observable by pool-reuse regression tests.
+        self.pools_created = 0
 
     def _ensure_pool(self, ctx: Any, pool_size: int) -> _futures.ProcessPoolExecutor:
         if (
@@ -423,12 +428,20 @@ class ProcessExecutor(PartExecutor):
         ):
             return self._pool
         self.close()
+        fingerprint = shm.context_fingerprint(ctx)
+        initarg: Any = ctx
+        try:
+            self._shared_ctx = shm.SharedKernelContext(ctx, fingerprint=fingerprint)
+            initarg = self._shared_ctx.handle
+        except OSError:  # no shared memory on this platform: ship the pickle
+            self._shared_ctx = None
         self._pool = _futures.ProcessPoolExecutor(
             max_workers=pool_size,
             mp_context=multiprocessing.get_context("spawn"),
             initializer=kernels.install_worker_context,
-            initargs=(ctx,),
+            initargs=(initarg,),
         )
+        self.pools_created += 1
         self._pool_ctx = ctx
         self._pool_size = pool_size
         return self._pool
@@ -439,6 +452,10 @@ class ProcessExecutor(PartExecutor):
             self._pool = None
             self._pool_ctx = None
             self._pool_size = 0
+        if self._shared_ctx is not None:
+            # After the workers are gone: unlink exactly once (idempotent).
+            self._shared_ctx.close()
+            self._shared_ctx = None
 
     def run(
         self,

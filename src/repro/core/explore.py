@@ -360,10 +360,11 @@ class _BlockTask:
     def __init__(
         self,
         ctx,
-        block: np.ndarray,
+        block: np.ndarray | None,
         bound: tuple[int, int],
         index: int,
         restrictions=None,
+        level_handle=None,
     ) -> None:
         self.shared_context = ctx
         self.block = block
@@ -373,6 +374,11 @@ class _BlockTask:
         #: for the masked path.  Tiny and immutable, so unlike the
         #: context it stays in the pickle.
         self.restrictions = restrictions
+        #: Zero-copy mode: a :class:`repro.core.shm.SharedLevelsHandle`
+        #: naming the CSE level arrays.  ``block`` is then ``None`` and
+        #: the *worker* decodes its own bounds from the shared views, so
+        #: the pickle carries no embedding data at all.
+        self.level_handle = level_handle
 
     def __getstate__(self) -> dict:
         return {
@@ -380,6 +386,7 @@ class _BlockTask:
             "bound": self.bound,
             "index": self.index,
             "restrictions": self.restrictions,
+            "level_handle": self.level_handle,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -390,7 +397,14 @@ class _BlockTask:
         ctx = self.shared_context
         if ctx is None:
             ctx = kernels.current_worker_context()
-        vert, counts, examined = type(self).kernel(ctx, self.block, self.restrictions)
+        block = self.block
+        if block is None:
+            from . import shm
+            from .cse import decode_block_arrays
+
+            verts, offs = shm.attach_levels(self.level_handle)
+            block = decode_block_arrays(verts, offs, *self.bound)
+        vert, counts, examined = type(self).kernel(ctx, block, self.restrictions)
         return PartExpansion(
             index=self.index,
             bound=self.bound,
@@ -427,23 +441,51 @@ def _scalar_task_factory(cse: CSE, make_part: Callable[..., PartExpansion]):
     return factory
 
 
-def _block_task_factory(cse: CSE, ctx, task_cls: type[_BlockTask], restrictions=None):
+def _block_task_factory(
+    cse: CSE, ctx, task_cls: type[_BlockTask], restrictions=None, share=None
+):
     """Tasks that decode each part as one 2-D block (kernel fast path).
 
     Decoding happens as the executor pulls each task, so at most a
     bounded number of blocks (the executor's in-flight window) exist at
     once.  ``restrictions`` (optional
     :class:`~repro.core.restrictions.KernelRestrictions`) selects the
-    fused symmetry-breaking gather inside the kernel.
+    fused symmetry-breaking gather inside the kernel.  With ``share`` (a
+    :class:`repro.core.shm.LevelShare` from :func:`~repro.core.shm.export_levels`)
+    no block is decoded here at all: tasks carry only their bounds and
+    workers decode from the shared level views.
     """
 
     def factory(parts: Sequence[tuple[int, int]]):
         for index, (start, end) in enumerate(parts):
-            yield task_cls(
-                ctx, cse.decode_block(start, end), (start, end), index, restrictions
-            )
+            if share is not None:
+                yield task_cls(
+                    ctx, None, (start, end), index, restrictions,
+                    level_handle=share.handle,
+                )
+            else:
+                yield task_cls(
+                    ctx, cse.decode_block(start, end), (start, end), index, restrictions
+                )
 
     return factory
+
+
+def _maybe_share_levels(cse: CSE, executor):
+    """Export the CSE levels for a zero-copy executor, if there is one.
+
+    Returns a :class:`repro.core.shm.LevelShare` (the caller must close
+    it after the run) when the executor advertises ``zero_copy`` and
+    every level is shareable — in-memory levels go into one shared
+    segment, mmap-backed spilled levels ride as part-file names.  Any
+    other executor, or an unshareable level, returns ``None`` and the
+    driver decodes blocks coordinator-side as before.
+    """
+    if not getattr(executor, "zero_copy", False):
+        return None
+    from . import shm
+
+    return shm.export_levels(cse)
 
 
 # ----------------------------------------------------------------------
@@ -543,14 +585,22 @@ def expand_vertex_level(
     (optional) receives the executor's per-part worker spans.
     """
     dtype = graph.id_dtype
+    share = None
     if embedding_filter is None and use_kernels and cse.block_decodable():
         ctx = kernels.vertex_kernel_context(graph, out_dtype=dtype)
-        factory = _block_task_factory(cse, ctx, VertexBlockTask, restrictions)
+        share = _maybe_share_levels(cse, executor)
+        factory = _block_task_factory(cse, ctx, VertexBlockTask, restrictions, share)
     else:
         adjacency = graph.adjacency_sets()
         make_part = partial(_vertex_part_task, graph, adjacency, embedding_filter, dtype)
         factory = _scalar_task_factory(cse, make_part)
-    return _run_expansion(cse, parts, sink, executor, workers, factory, tracer, dtype)
+    try:
+        return _run_expansion(
+            cse, parts, sink, executor, workers, factory, tracer, dtype
+        )
+    finally:
+        if share is not None:
+            share.close()
 
 
 def _vertex_part_task(graph, adjacency, embedding_filter, dtype, embeddings, bound, index):
@@ -574,15 +624,23 @@ def expand_edge_level(
 ) -> ExpansionStats:
     """Edge-induced analogue of :func:`expand_vertex_level`."""
     dtype = index.id_dtype
+    share = None
     if embedding_filter is None and use_kernels and cse.block_decodable():
         ctx = kernels.edge_kernel_context(index, out_dtype=dtype)
-        factory = _block_task_factory(cse, ctx, EdgeBlockTask, restrictions)
+        share = _maybe_share_levels(cse, executor)
+        factory = _block_task_factory(cse, ctx, EdgeBlockTask, restrictions, share)
     else:
         eu, ev = index.endpoint_lists()
         incident = index.incident_lists()
         make_part = partial(_edge_part_task, eu, ev, incident, embedding_filter, dtype)
         factory = _scalar_task_factory(cse, make_part)
-    return _run_expansion(cse, parts, sink, executor, workers, factory, tracer, dtype)
+    try:
+        return _run_expansion(
+            cse, parts, sink, executor, workers, factory, tracer, dtype
+        )
+    finally:
+        if share is not None:
+            share.close()
 
 
 def _edge_part_task(eu, ev, incident, embedding_filter, dtype, embeddings, bound, index):

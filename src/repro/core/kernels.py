@@ -654,16 +654,27 @@ def _expand_edge_chunk_fused(
 # ----------------------------------------------------------------------
 _WORKER_CONTEXT: "VertexKernelContext | EdgeKernelContext | None" = None
 
+#: Keeps the worker's shared-memory mapping alive for as long as the
+#: installed context's array views point into it.
+_WORKER_SEGMENT = None
+
 
 def install_worker_context(ctx) -> None:
     """Pool-initializer hook: stash the kernel context in this process.
 
-    :class:`~repro.core.executor.ProcessExecutor` passes the context once
-    per worker through the pool initializer; block tasks shipped to the
-    worker then look it up here instead of carrying the graph arrays in
-    every pickle.
+    :class:`~repro.core.executor.ProcessExecutor` passes either the
+    context itself or — on the zero-copy path — a
+    :class:`repro.core.shm.SharedContextHandle` naming a shared-memory
+    segment; in that case the worker attaches by name and rebuilds the
+    context as read-only views, so no graph arrays cross the pipe.
+    Block tasks shipped to the worker then look the context up here
+    instead of carrying the arrays in every pickle.
     """
-    global _WORKER_CONTEXT
+    global _WORKER_CONTEXT, _WORKER_SEGMENT
+    from . import shm  # lazy: shm imports this module at its top level
+
+    if isinstance(ctx, shm.SharedContextHandle):
+        ctx, _WORKER_SEGMENT = shm.attach_context(ctx)
     _WORKER_CONTEXT = ctx
 
 

@@ -15,12 +15,13 @@ the planning stage independently testable and timeable.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..balance.partition import balanced_parts
-from ..balance.predict import predict_edge_costs, predict_vertex_costs
+from ..balance.predict import IOPlan, predict_edge_costs, predict_vertex_costs
 from ..errors import PlanError
 from ..graph.graph import Graph
 from .api import EngineContext, MiningApplication
@@ -71,6 +72,9 @@ class LevelPlan:
     #: :class:`~repro.core.restrictions.RestrictionSet`), or None when
     #: the app mines no single pattern or the level is past the pattern.
     pattern_constraints: LevelConstraint | None = None
+    #: The adaptive I/O scheduler's choice for this level (part size,
+    #: prefetch depth) when it spills; None for in-memory levels.
+    io_plan: IOPlan | None = None
 
     @property
     def num_parts(self) -> int:
@@ -166,14 +170,13 @@ class Planner:
                 f"above the max_embeddings guard of {self.max_embeddings:,}"
             )
         if costs is not None:
-            part_bounds = balanced_parts(costs, self.num_parts)
             predicted_entries = int(costs.sum())
         else:
-            part_bounds = even_parts(cse.size(), self.num_parts)
             predicted_entries = cse.size() * max(1, int(self.graph.average_degree))
         sink: LevelSink | None = None
         spill = False
         io_mode = "memory"
+        io_plan: IOPlan | None = None
         if self.storage_mode != "memory":
             # The emitted level stores ids of the exploration's id space:
             # edge ids for edge-induced apps, vertex ids otherwise.  Its
@@ -189,6 +192,20 @@ class Planner:
             )
             spill = not isinstance(sink, InMemorySink)
             io_mode = self.policy.io_mode
+            if spill:
+                io_plan = getattr(self.policy, "last_io_plan", None)
+        # When the level spills, each expansion part becomes one on-disk
+        # part — so the scheduler's part size, not the fixed
+        # parts-per-worker knob, sets the cut (bounded to keep task
+        # overhead sane on huge levels).
+        num_parts = self.num_parts
+        if io_plan is not None and predicted_entries > 0:
+            target = math.ceil(predicted_entries / io_plan.part_entries)
+            num_parts = max(num_parts, min(target, 64 * max(1, self.workers)))
+        if costs is not None:
+            part_bounds = balanced_parts(costs, num_parts)
+        else:
+            part_bounds = even_parts(cse.size(), num_parts)
         restrictions = None
         if self.use_restrictions:
             kind = "edge" if ctx.edge_index is not None else "vertex"
@@ -209,6 +226,7 @@ class Planner:
             io_mode=io_mode,
             restrictions=restrictions,
             pattern_constraints=pattern_constraints,
+            io_plan=io_plan,
         )
 
     def plan_aggregate(

@@ -90,5 +90,9 @@ def absorb_engine(registry: MetricsRegistry, engine: "KaleidoEngine") -> None:
     registry.counter("storage.spilled_levels").inc(policy.spilled_levels)
     registry.counter("storage.demoted_levels").inc(policy.demoted_levels)
     registry.counter("storage.degradations").inc(len(policy.degradations))
+    io_plan = getattr(policy, "last_io_plan", None)
+    if io_plan is not None:
+        registry.gauge("storage.io_plan.part_entries").set(io_plan.part_entries)
+        registry.gauge("storage.io_plan.prefetch_depth").set(io_plan.prefetch_depth)
     registry.counter("checkpoint.written").inc(engine._checkpoints_written)
     registry.counter("checkpoint.failures").inc(engine._checkpoint_failures)

@@ -183,6 +183,20 @@ class FaultyPartStore(PartStore):
         _corrupt_file(path, torn=(fault.kind == "torn"))
         return super()._read_payload(path)
 
+    def _mmap_payload(self, path: str):
+        # Maps share the "load" schedule: one op class for all part reads.
+        fault = self.plan.draw("load")
+        if fault is None:
+            return super()._mmap_payload(path)
+        if fault.kind in ("transient", "permanent", "full"):
+            self._raise_for(fault, path)
+        if fault.kind == "slow":
+            self.plan.sleep(fault.delay_seconds)
+            return super()._mmap_payload(path)
+        # torn / corrupt on map: damage the on-disk file, then map it.
+        _corrupt_file(path, torn=(fault.kind == "torn"))
+        return super()._mmap_payload(path)
+
     def _remove_file(self, path: str) -> None:
         fault = self.plan.draw("delete")
         if fault is None:

@@ -131,6 +131,14 @@ class PartStore:
         with open(path, "rb") as handle:
             return handle.read()
 
+    def _mmap_payload(self, path: str) -> np.ndarray:
+        """Map a part file read-only without deserializing it.
+
+        A fault seam like ``_read_payload``: the fault-injection store
+        overrides this to damage the file or misbehave before mapping.
+        """
+        return np.load(path, mmap_mode="r", allow_pickle=False)
+
     def _remove_file(self, path: str) -> None:
         os.remove(path)
 
@@ -229,6 +237,61 @@ class PartStore:
         self.io.record("read", len(payload), time.perf_counter() - started)
         return array
 
+    def open_mmap(self, handle: PartHandle) -> np.ndarray:
+        """Map one part read-only so the page cache is the only copy.
+
+        The zero-copy read path: no payload deserialize, no CRC pass —
+        integrity is covered by the write-time checksum carried on the
+        handle plus the explicit :meth:`verify` sweep.  A torn or
+        truncated file still fails fast here (the npy header or the
+        mapped length no longer parses) as :class:`CorruptPartError`;
+        silent bit flips are only caught by :meth:`verify`.
+        """
+        started = time.perf_counter()
+        try:
+            array = self._with_retries(
+                lambda: self._mmap_payload(handle.path),
+                handle.path,
+                "mapping spill part",
+            )
+        except (ValueError, EOFError) as exc:
+            raise CorruptPartError(
+                f"unmappable spill part {handle.path}: {exc}"
+            ) from exc
+        if int(array.shape[0]) != handle.length:
+            raise CorruptPartError(
+                f"spill part {handle.path} maps {array.shape[0]} entries, "
+                f"expected {handle.length}"
+            )
+        # The map itself moves no bytes; account the part as one read so
+        # io_bytes_read still reflects the data served (page-cache hits
+        # make the effective rate look fast, which is the truth).
+        self.io.record("read", handle.nbytes, time.perf_counter() - started)
+        return array
+
+    def verify(self, handle: PartHandle) -> None:
+        """Re-read one part and check its CRC; raises on any damage.
+
+        The explicit integrity pass that complements :meth:`open_mmap`:
+        checkpoint restore and recovery sweeps call this before trusting
+        mmap-served parts.
+        """
+        payload = self._with_retries(
+            lambda: self._read_payload(handle.path),
+            handle.path,
+            "verifying spill part",
+        )
+        if handle.checksum is not None and zlib.crc32(payload) != handle.checksum:
+            raise CorruptPartError(
+                f"checksum mismatch for spill part {handle.path} "
+                f"({len(payload)} bytes read, {handle.nbytes} written)"
+            )
+        if len(payload) != handle.nbytes:
+            raise CorruptPartError(
+                f"spill part {handle.path} is {len(payload)} bytes, "
+                f"expected {handle.nbytes}"
+            )
+
     def delete(self, handle: PartHandle) -> None:
         """Remove one part file (best effort, but counted and logged)."""
         try:
@@ -260,6 +323,13 @@ class SpilledLevel:
     Satisfies the :class:`repro.core.cse.Level` protocol.  Sequential
     iteration streams parts through a sliding window with one-part-ahead
     prefetch (Figure 7's main part / candidate part scheme).
+
+    With ``mmap=True`` (the default) the part files are served as
+    read-only memory maps: random block decode gathers through a
+    :class:`repro.core.shm.PartedVector` over the maps
+    (``supports_block_decode``), streaming iteration maps parts instead
+    of deserializing them, and worker processes attach to the very same
+    files — a spilled part IS the IPC buffer.
     """
 
     def __init__(
@@ -270,13 +340,16 @@ class SpilledLevel:
         prefetch: bool = True,
         prefetch_depth: int = 1,
         dtype: np.dtype | None = None,
+        mmap: bool = True,
     ) -> None:
         self.store = store
         self.parts = parts
         self.off = None if off is None else np.ascontiguousarray(off, dtype=np.int64)
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
+        self.mmap = mmap
         self._dtype = None if dtype is None else np.dtype(dtype)
+        self._accessor = None
         self._length = sum(p.length for p in parts)
         if self.off is not None and self.off[-1] != self._length:
             raise StorageError(
@@ -299,15 +372,51 @@ class SpilledLevel:
         """Id storage width of this level (recorded at spill time)."""
         return self._dtype if self._dtype is not None else DEFAULT_ID_DTYPE
 
+    @property
+    def supports_block_decode(self) -> bool:
+        """Whether block decode may gather this level without loading it."""
+        return self.mmap
+
+    def vert_accessor(self):
+        """Gatherable view of the whole level without materialising it.
+
+        A :class:`repro.core.shm.PartedVector` over read-only memory maps
+        of the part files, cached until :meth:`drop`.  Only available in
+        mmap mode; callers fall back to :meth:`vert_array` otherwise.
+        """
+        if not self.mmap:
+            return self.vert_array()
+        if self._accessor is None:
+            from ..core.shm import PartedVector
+
+            self._accessor = PartedVector(
+                [self.store.open_mmap(p) for p in self.parts], dtype=self.dtype
+            )
+        return self._accessor
+
     def vert_array(self) -> np.ndarray:
         chunks = [self.store.load(p) for p in self.parts]
         if not chunks:
             return np.zeros(0, dtype=self.dtype)
         return np.concatenate(chunks)
 
+    def verify(self) -> None:
+        """CRC-check every part (raises :class:`CorruptPartError`).
+
+        The explicit integrity pass for mmap-served levels: the zero-copy
+        read path skips per-read CRC, so recovery and checkpoint restore
+        sweep the parts through here before trusting them.
+        """
+        for part in self.parts:
+            self.store.verify(part)
+
     def iter_vert_chunks(self) -> Iterator[np.ndarray]:
         reader = SlidingWindowReader(
-            self.store, self.parts, prefetch=self.prefetch, depth=self.prefetch_depth
+            self.store,
+            self.parts,
+            prefetch=self.prefetch,
+            depth=self.prefetch_depth,
+            loader=self.store.open_mmap if self.mmap else None,
         )
         yield from reader
 
@@ -327,6 +436,7 @@ class SpilledLevel:
 
     def drop(self) -> None:
         """Delete the level's part files."""
+        self._accessor = None
         for part in self.parts:
             self.store.delete(part)
         self.parts = []

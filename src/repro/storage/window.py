@@ -28,12 +28,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["SlidingWindowReader"]
 
 
+def _touch_pages(array: np.ndarray) -> None:
+    """Fault a memmapped part into the page cache (the prefetch 'read')."""
+    if isinstance(array, np.memmap) and array.size:
+        # One checksum-free pass over the bytes; madvise(WILLNEED) first
+        # lets the kernel queue readahead before we walk the pages.
+        base = array._mmap  # noqa: SLF001 - numpy keeps the mmap here
+        if base is not None and hasattr(base, "madvise"):
+            import mmap as _mmap
+
+            try:
+                base.madvise(_mmap.MADV_WILLNEED)
+            except (OSError, ValueError):  # pragma: no cover - advisory only
+                pass
+        np.add.reduce(array[:: max(1, 4096 // array.itemsize)], dtype=np.int64)
+
+
 class _Prefetch:
     """One in-flight background load."""
 
     __slots__ = ("thread", "result", "error", "done")
 
-    def __init__(self, store: "PartStore", part: "PartHandle") -> None:
+    def __init__(self, store: "PartStore", part: "PartHandle", loader=None) -> None:
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
         #: Set before the thread exits — ``is_set()`` at consume time is
@@ -42,7 +58,9 @@ class _Prefetch:
 
         def run() -> None:
             try:
-                self.result = store.load(part)
+                self.result = store.load(part) if loader is None else loader(part)
+                if loader is not None:
+                    _touch_pages(self.result)
             except BaseException as exc:  # repro: ignore[R005] -- deferred re-raise at consume()
                 self.error = exc
             finally:
@@ -70,6 +88,7 @@ class SlidingWindowReader:
         parts: list["PartHandle"],
         prefetch: bool = True,
         depth: int = 1,
+        loader=None,
     ) -> None:
         if depth < 0:
             raise ValueError("depth must be non-negative")
@@ -77,6 +96,10 @@ class SlidingWindowReader:
         self.parts = parts
         self.prefetch = prefetch and depth > 0
         self.depth = depth
+        #: Alternative part reader (e.g. ``store.open_mmap`` for
+        #: zero-copy levels); ``None`` means the CRC-verified
+        #: ``store.load``.
+        self.loader = loader
 
     @property
     def window_parts(self) -> int:
@@ -86,18 +109,21 @@ class SlidingWindowReader:
     def __iter__(self) -> Iterator[np.ndarray]:
         if not self.parts:
             return
+        read = self.store.load if self.loader is None else self.loader
         if not self.prefetch:
             for part in self.parts:
-                yield self.store.load(part)
+                yield read(part)
             return
 
         tracer = self.store.tracer
         pending: deque[_Prefetch] = deque()
         next_idx = 1  # index of the next part to start loading
-        current = self.store.load(self.parts[0])
+        current = read(self.parts[0])
         for _ in range(len(self.parts)):
             while next_idx < len(self.parts) and len(pending) < self.depth:
-                pending.append(_Prefetch(self.store, self.parts[next_idx]))
+                pending.append(
+                    _Prefetch(self.store, self.parts[next_idx], loader=self.loader)
+                )
                 next_idx += 1
             yield current
             if pending:

@@ -1,0 +1,165 @@
+"""Mmap-served spill parts: content, accounting, corruption, resume."""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.apps import MotifCounting
+from repro.core import CSE
+from repro.core.engine import KaleidoEngine
+from repro.core.explore import expand_vertex_level
+from repro.errors import CorruptPartError
+from repro.storage import (
+    FaultPlan,
+    FaultSpec,
+    FaultyPartStore,
+    PartStore,
+    RetryPolicy,
+    SpilledLevel,
+)
+from repro.storage.faults import _corrupt_file
+from repro.storage.hybrid import spill_level
+
+
+def _no_sleep_retry(attempts=4):
+    return RetryPolicy(attempts=attempts, sleep=lambda _t: None)
+
+
+# ----------------------------------------------------------------------
+# PartStore.open_mmap / verify
+# ----------------------------------------------------------------------
+def test_open_mmap_content_and_accounting(tmp_path):
+    store = PartStore(str(tmp_path))
+    data = np.arange(1000, dtype=np.int32)
+    handle = store.save(data)
+    read_before = store.io.bytes_read
+    mapped = store.open_mmap(handle)
+    assert isinstance(mapped, np.memmap)
+    assert np.array_equal(mapped, data)
+    assert not mapped.flags.writeable
+    # The map is accounted as one read of the part's bytes.
+    assert store.io.bytes_read == read_before + handle.nbytes
+
+
+def test_open_mmap_length_mismatch(tmp_path):
+    store = PartStore(str(tmp_path))
+    handle = store.save(np.arange(10, dtype=np.int32))
+    bad = type(handle)(
+        path=handle.path,
+        length=handle.length + 5,
+        nbytes=handle.nbytes,
+        checksum=handle.checksum,
+    )
+    with pytest.raises(CorruptPartError):
+        store.open_mmap(bad)
+
+
+def test_torn_part_fails_fast_at_mmap(tmp_path):
+    plan = FaultPlan(
+        [FaultSpec(op="load", kind="torn", at=1)], sleep=lambda _t: None
+    )
+    store = FaultyPartStore(str(tmp_path), plan=plan, retry=_no_sleep_retry())
+    handle = store.save(np.arange(500, dtype=np.int32))
+    with pytest.raises(CorruptPartError):
+        store.open_mmap(handle)
+
+
+def test_byte_flip_silent_at_mmap_caught_by_verify(tmp_path):
+    store = PartStore(str(tmp_path))
+    data = np.arange(256, dtype=np.int32)
+    handle = store.save(data)
+    store.verify(handle)  # intact: no complaint
+    _corrupt_file(handle.path, torn=False)
+    # A flipped payload byte still maps (zero-copy reads skip the CRC)...
+    mapped = store.open_mmap(handle)
+    assert mapped.shape[0] == handle.length
+    # ...but the explicit integrity pass catches it.
+    with pytest.raises(CorruptPartError):
+        store.verify(handle)
+    # And the CRC-checked load path still refuses it too.
+    with pytest.raises(CorruptPartError):
+        store.load(handle)
+
+
+def test_spilled_level_verify_sweeps_all_parts(tmp_path):
+    store = PartStore(str(tmp_path))
+    handles = [store.save(np.arange(8, dtype=np.int32)) for _ in range(3)]
+    level = SpilledLevel(store, handles, None)
+    level.verify()  # intact
+    _corrupt_file(handles[1].path, torn=False)
+    with pytest.raises(CorruptPartError):
+        level.verify()
+
+
+# ----------------------------------------------------------------------
+# Mmap-backed block decode
+# ----------------------------------------------------------------------
+def test_spilled_level_block_decode_matches_walk(paper_graph, tmp_path):
+    cse = CSE(np.arange(paper_graph.num_vertices))
+    expand_vertex_level(paper_graph, cse)
+    expand_vertex_level(paper_graph, cse)
+    store = PartStore(str(tmp_path))
+    top = cse.pop_level()
+    expected = [(pos, emb) for pos, emb in _walk(cse, top)]
+    cse.append_level(spill_level(top, store, part_entries=3))
+    assert cse.block_decodable()
+    block = cse.decode_block(0, cse.size())
+    for pos, emb in expected:
+        assert tuple(int(v) for v in block[pos]) == emb
+
+
+def _walk(cse, top):
+    cse.append_level(top)
+    try:
+        yield from cse.iter_embeddings()
+    finally:
+        cse.pop_level()
+
+
+def test_spilled_level_non_mmap_falls_back(paper_graph, tmp_path):
+    cse = CSE(np.arange(paper_graph.num_vertices))
+    expand_vertex_level(paper_graph, cse)
+    store = PartStore(str(tmp_path))
+    top = cse.pop_level()
+    spilled = spill_level(top, store, part_entries=3)
+    spilled.mmap = False
+    cse.append_level(spilled)
+    assert not cse.block_decodable()
+    # vert_accessor degrades to a materialised array.
+    assert np.array_equal(spilled.vert_accessor(), spilled.vert_array())
+
+
+# ----------------------------------------------------------------------
+# Checkpoint resume over mmap-served levels
+# ----------------------------------------------------------------------
+def test_resume_from_mmap_served_levels(paper_graph, tmp_path):
+    checkpoint_dir = str(tmp_path / "ckpt")
+    with tempfile.TemporaryDirectory() as spill_dir:
+        engine = KaleidoEngine(
+            paper_graph,
+            workers=2,
+            executor="processes",
+            storage_mode="spill-last",
+            spill_dir=spill_dir,
+            checkpoint_dir=checkpoint_dir,
+        )
+        try:
+            baseline = engine.run(MotifCounting(3))
+        finally:
+            engine.close()
+    with tempfile.TemporaryDirectory() as spill_dir:
+        engine = KaleidoEngine(
+            paper_graph,
+            workers=2,
+            executor="processes",
+            storage_mode="spill-last",
+            spill_dir=spill_dir,
+            checkpoint_dir=checkpoint_dir,
+        )
+        try:
+            resumed = engine.run(MotifCounting(3), resume=True)
+        finally:
+            engine.close()
+    assert resumed.pattern_map == baseline.pattern_map
+    assert resumed.extra["resumed_from_level"] is not None

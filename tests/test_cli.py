@@ -66,6 +66,29 @@ def test_mine_spill_options(tmp_path, capsys):
     assert payload["io_bytes_written"] > 0
 
 
+def test_mine_io_plan_flags(tmp_path, capsys):
+    parser = build_parser()
+    args = parser.parse_args(
+        ["mine", "tc", "--dataset", "citeseer",
+         "--prefetch-depth", "3", "--io-plan", "fixed"]
+    )
+    assert args.prefetch_depth == 3
+    assert args.io_plan == "fixed"
+    # Defaults: adaptive scheduling, single-part lookahead.
+    args = parser.parse_args(["mine", "tc", "--dataset", "citeseer"])
+    assert args.prefetch_depth == 1
+    assert args.io_plan == "adaptive"
+    # End to end: a spilled run reports the plan it chose.
+    assert main(
+        ["mine", "motif", "-k", "3", "--dataset", "citeseer", "--profile", "tiny",
+         "--storage", "spill-last", "--spill-dir", str(tmp_path),
+         "--prefetch-depth", "2", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["io_plan"] is not None
+    assert payload["io_plan"]["prefetch_depth"] >= 2
+
+
 def test_run_alias_with_trace_exports(tmp_path, capsys):
     trace = tmp_path / "t.json"
     jsonl = tmp_path / "t.jsonl"

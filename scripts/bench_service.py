@@ -88,10 +88,12 @@ def percentile(latencies: list[float], q: float) -> float:
     return ordered[index]
 
 
-def run_pass(dataset: str, workers: int, concurrent: bool) -> dict:
+def run_pass(dataset: str, workers: int, concurrent: bool, sanitize: bool = False) -> dict:
     warm = [_request(spec, dataset, WARM_TENANT) for spec in SHARED]
     measured = build_measured(dataset)
-    with MiningService(pool_workers=workers, max_inflight=len(measured)) as service:
+    with MiningService(
+        pool_workers=workers, max_inflight=len(measured), sanitize=sanitize
+    ) as service:
         for request in warm:
             service.query(request)
         start = time.perf_counter()
@@ -168,10 +170,16 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_service.json")
     parser.add_argument("--dataset", default="citeseer")
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the service under the lock-order sanitizer (and engines "
+        "under the part-purity sanitizer); inversions fail the bench",
+    )
     args = parser.parse_args(argv)
 
-    serial = run_pass(args.dataset, args.workers, concurrent=False)
-    concurrent = run_pass(args.dataset, args.workers, concurrent=True)
+    serial = run_pass(args.dataset, args.workers, concurrent=False, sanitize=args.sanitize)
+    concurrent = run_pass(args.dataset, args.workers, concurrent=True, sanitize=args.sanitize)
     solo = solo_pattern_maps(args.dataset)
 
     # Deterministic cache accounting: 4 warm misses + 3 tagged misses,

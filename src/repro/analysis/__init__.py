@@ -1,29 +1,52 @@
 """Invariant lint suite and runtime sanitizers.
 
 Static side (``python -m repro.analysis`` / ``repro lint``): AST rules
-R001-R005 that machine-check the engine contracts established in
-PRs 1-4 — part purity, determinism, tracer guarding, id-dtype
-discipline and the storage error taxonomy.  Runtime side:
-:class:`PartPuritySanitizer`, a race detector for shared application
-state that static analysis cannot see (enabled with the engine/CLI
+R001-R008 that machine-check the engine contracts established in
+PRs 1-9 — part purity, determinism, tracer guarding, id-dtype
+discipline, the storage error taxonomy, lock discipline over guarded
+fields, shm/mmap/tempfile lifecycles and the tracer/metric schema.
+Rules run against a project-wide :class:`AnalysisContext` (module
+index + per-class call graphs, built once per lint run) and the
+flow-aware rules lean on the per-function CFG approximation in
+:mod:`repro.analysis.cfg`.
+
+Runtime side: :class:`PartPuritySanitizer`, a race detector for shared
+application state that static analysis cannot see, and
+:class:`LockOrderSanitizer`, which wraps the project's locks and
+raises :class:`~repro.errors.LockOrderError` on ordering inversions
+before they can deadlock (both enabled with the engine/service/CLI
 ``--sanitize`` flag).
 """
 
 from __future__ import annotations
 
+from .context import AnalysisContext, ClassInfo, ModuleInfo, build_context
 from .diagnostics import Diagnostic, suppressed_lines
-from .linter import lint_file, lint_paths, lint_source
+from .linter import LintReport, lint_file, lint_paths, lint_paths_report, lint_source
 from .rules import RULES, Rule, rule_ids
-from .sanitizer import AttributeWrite, PartPuritySanitizer
+from .sanitizer import (
+    AttributeWrite,
+    LockOrderSanitizer,
+    PartPuritySanitizer,
+    TrackedLock,
+)
 
 __all__ = [
+    "AnalysisContext",
     "AttributeWrite",
+    "ClassInfo",
     "Diagnostic",
+    "LintReport",
+    "LockOrderSanitizer",
+    "ModuleInfo",
     "PartPuritySanitizer",
     "RULES",
     "Rule",
+    "TrackedLock",
+    "build_context",
     "lint_file",
     "lint_paths",
+    "lint_paths_report",
     "lint_source",
     "rule_ids",
     "suppressed_lines",

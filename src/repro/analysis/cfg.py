@@ -1,0 +1,211 @@
+"""Per-function control-flow approximation for lifecycle rules.
+
+R007 asks a path question — "can this acquisition reach the function
+exit without passing a release?" — which a syntactic walk cannot
+answer.  This module builds a deliberately small CFG over a function
+body:
+
+* nodes are the function's **statements** (nested function bodies are
+  opaque: they define, they do not flow);
+* ``if``/``while``/``for``/``match`` fan out to their branch entries;
+* ``return``/``raise`` route through enclosing ``finally`` bodies and
+  then to a single :data:`EXIT` sentinel;
+* exception edges are modelled **only** for statements directly inside
+  a ``try`` body (to the handlers and the ``finally``) — modelling
+  "anything can raise anywhere" would drown the signal, and the
+  project's own fault seams are all wrapped in ``try``.
+
+Exceptional successors are kept separate from normal ones so a caller
+can ignore the may-raise edge out of the statement it starts from: a
+failed acquisition leaves nothing to release.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["EXIT", "FunctionCFG", "build_cfg", "leaks_to_exit"]
+
+
+class _Exit:
+    """Singleton sentinel for the function's exit point."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<exit>"
+
+
+EXIT = _Exit()
+
+#: A CFG point: a statement node or the EXIT sentinel.
+Point = object
+
+
+@dataclass
+class FunctionCFG:
+    """Successor maps over a function body's statements."""
+
+    #: Entry points of the body (the first statement, normally).
+    entries: tuple[Point, ...] = ()
+    #: Normal-flow successors, keyed by ``id(stmt)``.
+    succ: dict[int, set[Point]] = field(default_factory=dict)
+    #: Exceptional successors (may-raise edges inside ``try`` bodies).
+    exc: dict[int, set[Point]] = field(default_factory=dict)
+
+    def successors(self, stmt: ast.stmt, *, include_exceptional: bool = True) -> set[Point]:
+        out = set(self.succ.get(id(stmt), ()))
+        if include_exceptional:
+            out |= self.exc.get(id(stmt), set())
+        return out
+
+
+@dataclass
+class _Loop:
+    break_follow: frozenset[Point]
+    continue_target: frozenset[Point]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = FunctionCFG()
+
+    # -- helpers -------------------------------------------------------
+    def _normal(self, stmt: ast.stmt, targets: Iterable[Point]) -> None:
+        self.cfg.succ.setdefault(id(stmt), set()).update(targets)
+
+    def _exceptional(self, stmt: ast.stmt, targets: Iterable[Point]) -> None:
+        self.cfg.exc.setdefault(id(stmt), set()).update(targets)
+
+    # -- construction --------------------------------------------------
+    def sequence(
+        self,
+        stmts: Sequence[ast.stmt],
+        follow: frozenset[Point],
+        loops: tuple[_Loop, ...],
+        finallies: tuple[frozenset[Point], ...],
+    ) -> frozenset[Point]:
+        """Wire a statement list; returns its entry point set."""
+        entry = follow
+        for stmt in reversed(stmts):
+            entry = self.statement(stmt, entry, loops, finallies)
+        return entry
+
+    def statement(
+        self,
+        stmt: ast.stmt,
+        follow: frozenset[Point],
+        loops: tuple[_Loop, ...],
+        finallies: tuple[frozenset[Point], ...],
+    ) -> frozenset[Point]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            # Abrupt exit routes through the innermost finally (whose
+            # own wiring continues outward), else straight out.
+            self._normal(stmt, finallies[-1] if finallies else {EXIT})
+            return frozenset({stmt})
+        if isinstance(stmt, ast.Break):
+            self._normal(stmt, loops[-1].break_follow if loops else {EXIT})
+            return frozenset({stmt})
+        if isinstance(stmt, ast.Continue):
+            self._normal(stmt, loops[-1].continue_target if loops else {EXIT})
+            return frozenset({stmt})
+        if isinstance(stmt, ast.If):
+            body = self.sequence(stmt.body, follow, loops, finallies)
+            orelse = self.sequence(stmt.orelse, follow, loops, finallies)
+            self._normal(stmt, body | orelse)
+            return frozenset({stmt})
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = frozenset({stmt})
+            inner = loops + (_Loop(break_follow=follow, continue_target=header),)
+            body = self.sequence(stmt.body, header, inner, finallies)
+            out = self.sequence(stmt.orelse, follow, loops, finallies)
+            self._normal(stmt, body | out)
+            return header
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body = self.sequence(stmt.body, follow, loops, finallies)
+            self._normal(stmt, body)
+            return frozenset({stmt})
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, follow, loops, finallies)
+        if isinstance(stmt, ast.Match):
+            entries: set[Point] = set(follow)  # subject may match no case
+            for case in stmt.cases:
+                entries |= self.sequence(case.body, follow, loops, finallies)
+            self._normal(stmt, entries)
+            return frozenset({stmt})
+        # Simple statement (incl. nested def/class: they do not flow).
+        self._normal(stmt, follow)
+        return frozenset({stmt})
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        follow: frozenset[Point],
+        loops: tuple[_Loop, ...],
+        finallies: tuple[frozenset[Point], ...],
+    ) -> frozenset[Point]:
+        if stmt.finalbody:
+            # The finally body runs on both the normal and the abrupt
+            # path; over-approximate by letting its tail continue to
+            # either the statement's follow or the next abrupt target.
+            abrupt = finallies[-1] if finallies else frozenset({EXIT})
+            fin_entry = self.sequence(
+                stmt.finalbody, follow | abrupt, loops, finallies
+            )
+            inner_finallies = finallies + (fin_entry,)
+            after = fin_entry
+        else:
+            fin_entry = frozenset()
+            inner_finallies = finallies
+            after = follow
+
+        handler_entries: set[Point] = set()
+        for handler in stmt.handlers:
+            handler_entries |= self.sequence(handler.body, after, loops, inner_finallies)
+
+        orelse = (
+            self.sequence(stmt.orelse, after, loops, inner_finallies)
+            if stmt.orelse
+            else after
+        )
+        body_entry = self.sequence(stmt.body, orelse, loops, inner_finallies)
+
+        # May-raise edges: each statement directly in the try body can
+        # jump to the handlers / the finally.
+        raise_targets = frozenset(handler_entries) | fin_entry
+        if raise_targets:
+            for body_stmt in stmt.body:
+                self._exceptional(body_stmt, raise_targets)
+        return body_entry
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionCFG:
+    """Build the statement-level CFG for one function body."""
+    builder = _Builder()
+    entries = builder.sequence(func.body, frozenset({EXIT}), (), ())
+    builder.cfg.entries = tuple(entries)
+    return builder.cfg
+
+
+def leaks_to_exit(
+    cfg: FunctionCFG, start: ast.stmt, releases: Iterable[ast.stmt]
+) -> bool:
+    """Whether ``start`` can reach :data:`EXIT` without hitting a release.
+
+    Release statements block path exploration; the exceptional edge out
+    of ``start`` itself is ignored (a failed acquisition leaves nothing
+    behind to release).
+    """
+    blocked = {id(stmt) for stmt in releases}
+    frontier: list[Point] = list(cfg.succ.get(id(start), ()))
+    seen: set[int] = {id(start)}
+    while frontier:
+        point = frontier.pop()
+        if point is EXIT:
+            return True
+        if id(point) in seen or id(point) in blocked:
+            continue
+        seen.add(id(point))
+        frontier.extend(cfg.succ.get(id(point), ()))
+        frontier.extend(cfg.exc.get(id(point), ()))
+    return False

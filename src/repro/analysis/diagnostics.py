@@ -18,13 +18,19 @@ after the closing bracket.
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass
+from typing import Iterable
 
 __all__ = ["Diagnostic", "suppressed_lines"]
 
 #: Rule id of files that fail to parse (always reported, never scoped).
 PARSE_RULE = "E999"
+
+#: Rule id of stale suppression comments (``--report-unused-ignores``).
+UNUSED_IGNORE_RULE = "W100"
 
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
 
@@ -42,6 +48,43 @@ class Diagnostic:
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def format_github(self) -> str:
+        """GitHub Actions workflow-annotation form (``::error ...``)."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.rule}::{self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _comment_lines(source: str) -> Iterable[tuple[int, str, int]]:
+    """Yield ``(lineno, comment_text, start_col)`` for real comments.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    examples inside docstrings and string literals from acting — or
+    being audited — as live suppressions.  Sources that fail to
+    tokenize fall back to a plain line scan; they will fail to parse in
+    the linter anyway.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string, token.start[1]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            index = text.find("#")
+            if index >= 0:
+                yield lineno, text[index:], index
+
 
 def suppressed_lines(source: str) -> dict[int, set[str]]:
     """Map line number -> rule ids suppressed on that line.
@@ -49,12 +92,14 @@ def suppressed_lines(source: str) -> dict[int, set[str]]:
     A trailing comment suppresses its own line; a comment that is the
     whole line suppresses the line after it.
     """
+    lines = source.splitlines()
     suppressions: dict[int, set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+    for lineno, text, col in _comment_lines(source):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
         rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
-        target = lineno + 1 if text[: match.start()].strip() == "" else lineno
+        own_line = lineno <= len(lines) and lines[lineno - 1][:col].strip() == ""
+        target = lineno + 1 if own_line else lineno
         suppressions.setdefault(target, set()).update(rules)
     return suppressions

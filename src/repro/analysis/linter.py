@@ -1,50 +1,50 @@
 """Driver for the invariant lint suite.
 
-Parses each Python file once, builds a parent map for dominance queries,
-scopes the rule set by the file's position inside the ``repro`` package,
-runs the rules and filters the resulting diagnostics through the
-``# repro: ignore[RULE]`` suppressions.
+The driver parses every file once into a project-wide
+:class:`~repro.analysis.context.AnalysisContext`, scopes the rule set
+by each file's position inside the ``repro`` package, runs the rules
+with the shared context, and filters the resulting diagnostics through
+the ``# repro: ignore[RULE]`` suppressions — tracking which
+suppressions actually fired so stale ones can be audited
+(``--report-unused-ignores``).
 """
 
 from __future__ import annotations
 
-import ast
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from .diagnostics import PARSE_RULE, Diagnostic, suppressed_lines
+from .context import AnalysisContext, ModuleInfo, build_context
+from .diagnostics import (
+    PARSE_RULE,
+    UNUSED_IGNORE_RULE,
+    Diagnostic,
+    suppressed_lines,
+)
 from .rules import RULES, Rule
 
-__all__ = ["lint_source", "lint_file", "lint_paths"]
+__all__ = ["LintReport", "lint_source", "lint_file", "lint_paths", "lint_paths_report"]
 
 
-def _parent_map(tree: ast.AST) -> dict[int, ast.AST]:
-    parents: dict[int, ast.AST] = {}
-    for node in ast.walk(tree):
-        for child in ast.iter_child_nodes(node):
-            parents[id(child)] = node
-    return parents
+@dataclass
+class LintReport:
+    """Outcome of a lint run: violations plus stale suppressions."""
 
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    unused_ignores: list[Diagnostic] = field(default_factory=list)
 
-def _rel_module(path: str) -> str | None:
-    """Path relative to the ``repro`` package root, or ``None``.
-
-    ``src/repro/core/engine.py`` -> ``core/engine.py``.  Files outside a
-    ``repro`` package (tests, fixtures, scripts) return ``None``, which
-    applies every rule — fixture tests then narrow with ``select``.
-    """
-    parts = Path(path).parts
-    for index in range(len(parts) - 1, -1, -1):
-        if parts[index] == "repro":
-            return "/".join(parts[index + 1 :])
-    return None
+    def all(self) -> list[Diagnostic]:
+        return self.diagnostics + self.unused_ignores
 
 
 def _select_rules(select: Sequence[str] | None) -> tuple[tuple[Rule, ...], bool]:
     """Resolve a ``select`` list to rule objects.
 
-    An explicit selection also bypasses module scoping: asking for a rule
-    by id means "run it here", wherever *here* is.
+    An explicit selection also bypasses module scoping: asking for a
+    rule by id means "run it here", wherever *here* is — the driver
+    never consults ``Rule.applies`` for selected rules, so scoped rules
+    honor the bypass uniformly.
     """
     if select is None:
         return RULES, False
@@ -55,38 +55,80 @@ def _select_rules(select: Sequence[str] | None) -> tuple[tuple[Rule, ...], bool]
     return tuple(rule for rule in RULES if rule.id in wanted), True
 
 
+def _parse_failure(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        rule=PARSE_RULE,
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1),
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _lint_module(
+    module: ModuleInfo,
+    context: AnalysisContext,
+    rules: tuple[Rule, ...],
+    bypass_scope: bool,
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Run the rules over one module.
+
+    Returns ``(diagnostics, unused_ignores)``.  A suppression counts as
+    used when it silenced at least one diagnostic from a rule that
+    actually ran here; suppressions naming rules outside the active set
+    (not selected, or out of scope for this module) are left alone —
+    they cannot be judged on this run.
+    """
+    active = tuple(
+        rule for rule in rules if bypass_scope or rule.applies(module.rel)
+    )
+    raw: list[Diagnostic] = []
+    for rule in active:
+        raw.extend(rule.check(module, context))
+    suppressions = suppressed_lines(module.source)
+    kept: list[Diagnostic] = []
+    used: set[tuple[int, str]] = set()
+    for diag in raw:
+        rules_here = suppressions.get(diag.line, ())
+        if diag.rule in rules_here:
+            used.add((diag.line, diag.rule))
+        else:
+            kept.append(diag)
+    kept.sort(key=lambda diag: (diag.line, diag.col, diag.rule))
+    active_ids = {rule.id for rule in active}
+    unused: list[Diagnostic] = []
+    for line, rule_ids_here in sorted(suppressions.items()):
+        for rule_id in sorted(rule_ids_here):
+            if rule_id not in active_ids or (line, rule_id) in used:
+                continue
+            unused.append(
+                Diagnostic(
+                    rule=UNUSED_IGNORE_RULE,
+                    path=module.path,
+                    line=line,
+                    col=1,
+                    message=(
+                        f"unused suppression: '# repro: ignore[{rule_id}]' "
+                        f"silences nothing here; remove it or re-justify it"
+                    ),
+                )
+            )
+    return kept, unused
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     select: Sequence[str] | None = None,
 ) -> list[Diagnostic]:
-    """Lint one module's source text."""
+    """Lint one module's source text (single-file context)."""
     rules, bypass_scope = _select_rules(select)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                rule=PARSE_RULE,
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    parents = _parent_map(tree)
-    rel = _rel_module(path)
-    diagnostics: list[Diagnostic] = []
-    for rule in rules:
-        if bypass_scope or rule.applies(rel):
-            diagnostics.extend(rule.check(tree, parents, path))
-    suppressions = suppressed_lines(source)
-    kept = [
-        diag
-        for diag in diagnostics
-        if diag.rule not in suppressions.get(diag.line, ())
-    ]
-    kept.sort(key=lambda diag: (diag.line, diag.col, diag.rule))
+    context, failures = build_context([(path, source)])
+    if failures:
+        return [_parse_failure(p, exc) for p, exc in failures]
+    module = context.module_for(path)
+    assert module is not None
+    kept, _ = _lint_module(module, context, rules, bypass_scope)
     return kept
 
 
@@ -104,11 +146,32 @@ def _iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
             yield root
 
 
+def lint_paths_report(
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    report_unused_ignores: bool = False,
+) -> LintReport:
+    """Lint files and directories with one shared analysis context."""
+    rules, bypass_scope = _select_rules(select)
+    sources: list[tuple[str, str]] = []
+    for file_path in _iter_python_files(paths):
+        sources.append((str(file_path), file_path.read_text(encoding="utf-8")))
+    context, failures = build_context(sources)
+    report = LintReport()
+    report.diagnostics.extend(_parse_failure(p, exc) for p, exc in failures)
+    for path, _ in sources:
+        module = context.module_for(path)
+        if module is None:  # failed to parse; already reported
+            continue
+        kept, unused = _lint_module(module, context, rules, bypass_scope)
+        report.diagnostics.extend(kept)
+        if report_unused_ignores:
+            report.unused_ignores.extend(unused)
+    return report
+
+
 def lint_paths(
     paths: Iterable[str | Path], select: Sequence[str] | None = None
 ) -> list[Diagnostic]:
     """Lint files and directories (recursing into ``*.py``)."""
-    diagnostics: list[Diagnostic] = []
-    for file_path in _iter_python_files(paths):
-        diagnostics.extend(lint_file(file_path, select=select))
-    return diagnostics
+    return lint_paths_report(paths, select=select).diagnostics

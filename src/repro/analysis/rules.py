@@ -1,4 +1,4 @@
-"""Project-specific static-analysis rules R001-R005.
+"""Project-specific static-analysis rules R001-R008.
 
 Each rule encodes one engine contract that earlier PRs established by
 review and that nothing previously machine-checked:
@@ -40,18 +40,55 @@ R005      Error taxonomy: no bare ``except:`` and no swallowed
           ``service/``; catch-all handlers must re-raise (a typed class
           from ``repro.errors``), otherwise corruption, disk faults and
           tenant-facing failures turn into silently wrong results.
+R006      Lock discipline: classes in ``service/``, ``core/executor.py``
+          and ``storage/`` that create a ``threading.Lock``/``RLock``/
+          ``Condition`` declare their guarded fields — explicitly with a
+          ``# guarded-by: _lock`` comment on the field's initialising
+          assignment, or inferred when at least one mutation site sits
+          under ``with self._lock:``.  Every mutation of a guarded field
+          (assignment, augmented assignment, ``del``, or an in-place
+          mutator call such as ``.append``) must then hold the lock,
+          either lexically or transitively: a method whose every
+          in-class call site holds the lock is itself lock-context
+          (the same closure machinery as R001's hot-method set).
+          ``__init__`` is exempt — the object is not yet shared.
+R007      Resource lifecycle: every ``SharedMemory`` /
+          ``SharedKernelContext`` / ``open_mmap`` / ``NamedTemporaryFile``
+          acquisition bound to a local in ``core/shm.py``,
+          ``core/executor.py`` or ``storage/`` must reach a ``close()``
+          or ``unlink()`` on **all** control-flow paths (try/finally,
+          ``with``, or a registered ``weakref.finalize``), checked over
+          a per-function CFG approximation (:mod:`repro.analysis.cfg`).
+          Ownership transfers — returning the resource, storing it on
+          ``self`` or in a container, passing it to another call — end
+          the obligation locally.
+R008      Tracer/metric schema: ``tracer.begin(name)`` and
+          ``tracer.end(name)`` must pair up within one function (a span
+          opened here must close here, on every path the CFG can see a
+          ``finally`` for), and every metric name emitted through
+          ``.counter/.gauge/.histogram`` in ``core/``, ``storage/``,
+          ``service/`` or the obs bridge must appear in the bridge's
+          ``METRIC_REGISTRY`` table — the registry the dashboards read,
+          so a typo'd or unregistered name is silent telemetry loss.
 ========  ==============================================================
 
 Rules operate purely on the AST — nothing is imported or executed — and
 report precise ``file:line:col`` diagnostics that the suppression
-comments of :mod:`repro.analysis.diagnostics` can silence.
+comments of :mod:`repro.analysis.diagnostics` can silence.  Each rule
+receives the :class:`~repro.analysis.context.ModuleInfo` under check
+plus the project-wide :class:`~repro.analysis.context.AnalysisContext`,
+so cross-file lookups (R008's registry, future inter-module rules) are
+index hits rather than re-parses.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable
 
+from .cfg import build_cfg, leaks_to_exit
+from .context import AnalysisContext, ClassInfo, ModuleInfo
 from .diagnostics import Diagnostic
 
 __all__ = ["Rule", "RULES", "rule_ids"]
@@ -80,7 +117,7 @@ class Rule:
         )
 
     def check(
-        self, tree: ast.Module, parents: dict[int, ast.AST], path: str
+        self, module: ModuleInfo, context: AnalysisContext
     ) -> list[Diagnostic]:  # pragma: no cover - protocol
         raise NotImplementedError
 
@@ -157,6 +194,25 @@ def _ancestors(node: ast.AST, parents: dict[int, ast.AST]) -> Iterable[ast.AST]:
         current = parents.get(id(current))
 
 
+def _enclosing_stmt(node: ast.AST, parents: dict[int, ast.AST]) -> ast.stmt | None:
+    """The nearest enclosing statement (the node itself if it is one)."""
+    current: ast.AST | None = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = parents.get(id(current))
+    return current
+
+
+def _shallow_walk(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
 # ----------------------------------------------------------------------
 # R001 — part purity
 # ----------------------------------------------------------------------
@@ -188,9 +244,10 @@ class PartPurityRule(Rule):
         }
     )
 
-    def check(self, tree, parents, path):
+    def check(self, module, context):
         diagnostics: list[Diagnostic] = []
-        classes = [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+        path = module.path
+        classes = [info.node for info in module.classes]
         app_names = {"MiningApplication"}
         changed = True
         while changed:  # transitive: subclasses of in-file app subclasses
@@ -312,7 +369,8 @@ class DeterminismRule(Rule):
     }
     _SET_CONSUMERS = {"list", "tuple", "iter", "enumerate"}
 
-    def check(self, tree, parents, path):
+    def check(self, module, context):
+        tree, path = module.tree, module.path
         diagnostics: list[Diagnostic] = []
         module_aliases, from_banned = self._imports(tree)
         for node in ast.walk(tree):
@@ -449,7 +507,8 @@ class TracerGuardRule(Rule):
 
     PROBES = frozenset({"begin", "end", "instant", "complete"})
 
-    def check(self, tree, parents, path):
+    def check(self, module, context):
+        tree, parents, path = module.tree, module.parents, module.path
         diagnostics: list[Diagnostic] = []
         for node in ast.walk(tree):
             if not (
@@ -528,7 +587,8 @@ class DtypeDisciplineRule(Rule):
         "storage/checkpoint.py",
     )
 
-    def check(self, tree, parents, path):
+    def check(self, module, context):
+        tree, parents, path = module.tree, module.parents, module.path
         diagnostics: list[Diagnostic] = []
         for node in ast.walk(tree):
             if not (
@@ -578,7 +638,8 @@ class ErrorTaxonomyRule(Rule):
 
     CATCH_ALLS = frozenset({"Exception", "BaseException"})
 
-    def check(self, tree, parents, path):
+    def check(self, module, context):
+        tree, path = module.tree, module.path
         diagnostics: list[Diagnostic] = []
         for node in ast.walk(tree):
             if not isinstance(node, ast.ExceptHandler):
@@ -620,6 +681,530 @@ class ErrorTaxonomyRule(Rule):
         return name if name in self.CATCH_ALLS else None
 
 
+# ----------------------------------------------------------------------
+# R006 — lock discipline
+# ----------------------------------------------------------------------
+class LockDisciplineRule(Rule):
+    id = "R006"
+    title = "guarded fields must only be mutated under their lock"
+    scope = ("service/", "core/executor.py", "storage/")
+
+    #: Constructors whose result makes ``self.X`` a lock attribute.
+    LOCK_FACTORIES = frozenset(
+        {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+    )
+    _GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+    def check(self, module, context):
+        diagnostics: list[Diagnostic] = []
+        for cls in module.classes:
+            diagnostics.extend(self._check_class(cls, module))
+        return diagnostics
+
+    # -- discovery -----------------------------------------------------
+    def _lock_attrs(self, cls: ClassInfo) -> set[str]:
+        locks: set[str] = set()
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                    continue
+                if _terminal_name(node.value.func) not in self.LOCK_FACTORIES:
+                    continue
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+        return locks
+
+    def _annotations(
+        self, cls: ClassInfo, module: ModuleInfo, locks: set[str]
+    ) -> tuple[dict[str, str], list[Diagnostic]]:
+        """``# guarded-by: _lock`` comments on field assignments."""
+        guarded: dict[str, str] = {}
+        diagnostics: list[Diagnostic] = []
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                fields = [
+                    target.attr
+                    for target in targets
+                    if isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ]
+                if not fields:
+                    continue
+                match = self._GUARDED_BY_RE.search(module.line(node.lineno))
+                if match is None:
+                    # Standalone-comment form on the line above; a line
+                    # that holds code of its own annotates only itself.
+                    previous = module.line(node.lineno - 1)
+                    if previous.lstrip().startswith("#"):
+                        match = self._GUARDED_BY_RE.search(previous)
+                if match is None:
+                    continue
+                lock = match.group(1)
+                if lock not in locks:
+                    diagnostics.append(
+                        self.diagnostic(
+                            node,
+                            module.path,
+                            f"'# guarded-by: {lock}' names no lock attribute "
+                            f"of '{cls.node.name}' (known locks: "
+                            f"{sorted(locks) or 'none'})",
+                        )
+                    )
+                    continue
+                for field in fields:
+                    guarded[field] = lock
+        return guarded, diagnostics
+
+    def _mutation_sites(
+        self, cls: ClassInfo, locks: set[str]
+    ) -> dict[str, list[tuple[ast.AST, ast.FunctionDef]]]:
+        """Field name -> mutation nodes outside ``__init__``."""
+        sites: dict[str, list[tuple[ast.AST, ast.FunctionDef]]] = {}
+        for name, method in cls.methods.items():
+            if name == "__init__":
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                elif isinstance(node, ast.Delete):
+                    targets = node.targets
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in PartPurityRule.MUTATORS
+                    and _contains_self_attribute(node.func.value)
+                ):
+                    field = _first_self_attr(node.func.value)
+                    if field not in locks:
+                        sites.setdefault(field, []).append((node, method))
+                    continue
+                else:
+                    continue
+                for target in targets:
+                    for hit in _self_rooted_targets(target):
+                        field = _first_self_attr(hit)
+                        if field not in locks:
+                            sites.setdefault(field, []).append((hit, method))
+        return sites
+
+    # -- lock-context reasoning ----------------------------------------
+    def _with_lock_ancestor(
+        self, node: ast.AST, lock: str, parents: dict[int, ast.AST]
+    ) -> bool:
+        for ancestor in _ancestors(node, parents):
+            if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and expr.attr == lock
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    return True
+        return False
+
+    def _lock_context_methods(self, cls: ClassInfo, lock: str) -> set[str]:
+        """Methods whose every in-class call site holds ``lock``.
+
+        The closure mirrors R001's hot-method machinery: a method is
+        lock-context if each ``self.m()`` site is lexically under
+        ``with self.<lock>:``, inside ``__init__`` (pre-sharing), or
+        inside a method already known to be lock-context.  Methods with
+        no in-class call sites are externally callable and stay out.
+        """
+        parents = cls.module.parents
+        sites = cls.self_call_sites()
+        locked: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in cls.methods:
+                if name in locked or name == "__init__":
+                    continue
+                calls = sites.get(name)
+                if not calls:
+                    continue
+                def _held(call: ast.Call) -> bool:
+                    if self._with_lock_ancestor(call, lock, parents):
+                        return True
+                    enclosing = cls.enclosing_method(call)
+                    if enclosing is None:
+                        return False
+                    return enclosing.name == "__init__" or enclosing.name in locked
+                if all(_held(call) for call in calls):
+                    locked.add(name)
+                    changed = True
+        return locked
+
+    def _effectively_locked(
+        self,
+        node: ast.AST,
+        method: ast.FunctionDef,
+        lock: str,
+        cls: ClassInfo,
+        locked_methods: set[str],
+    ) -> bool:
+        if method.name == "__init__" or method.name in locked_methods:
+            return True
+        return self._with_lock_ancestor(node, lock, cls.module.parents)
+
+    # -- the check -----------------------------------------------------
+    def _check_class(self, cls: ClassInfo, module: ModuleInfo) -> list[Diagnostic]:
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return []
+        guarded, diagnostics = self._annotations(cls, module, locks)
+        mutations = self._mutation_sites(cls, locks)
+        locked_methods = {lock: self._lock_context_methods(cls, lock) for lock in locks}
+        # Inference fallback: a field whose mutations are (at least
+        # partly) lock-held is treated as guarded by that lock — the
+        # unlocked remainder is then the diagnostic.
+        for field, sites in mutations.items():
+            if field in guarded:
+                continue
+            locks_seen = {
+                lock
+                for lock in locks
+                for node, method in sites
+                if self._effectively_locked(node, method, lock, cls, locked_methods[lock])
+                and method.name != "__init__"
+            }
+            if len(locks_seen) == 1:
+                guarded[field] = next(iter(locks_seen))
+        for field in sorted(guarded):
+            lock = guarded[field]
+            for node, method in mutations.get(field, ()):
+                if self._effectively_locked(node, method, lock, cls, locked_methods[lock]):
+                    continue
+                diagnostics.append(
+                    self.diagnostic(
+                        node,
+                        module.path,
+                        f"mutates 'self.{field}' (guarded by 'self.{lock}') "
+                        f"outside 'with self.{lock}:' in "
+                        f"'{cls.node.name}.{method.name}'; take the lock or "
+                        f"reach this site only from lock-holding methods",
+                    )
+                )
+        return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R007 — resource lifecycle
+# ----------------------------------------------------------------------
+class ResourceLifecycleRule(Rule):
+    id = "R007"
+    title = "acquired shm/mmap/tempfile resources must be released on all paths"
+    scope = ("core/shm.py", "core/executor.py", "storage/")
+
+    #: Constructor names whose result owns an OS-level resource.
+    ACQUIRE_CONSTRUCTORS = frozenset(
+        {"SharedMemory", "SharedKernelContext", "NamedTemporaryFile", "TemporaryFile"}
+    )
+    #: Method names that hand out an owned resource.
+    ACQUIRE_METHODS = frozenset({"open_mmap"})
+    RELEASE_METHODS = frozenset({"close", "unlink"})
+
+    def check(self, module, context):
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                diagnostics.extend(self._check_function(node, module))
+        return diagnostics
+
+    def _is_acquisition(self, value: ast.AST) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        name = _terminal_name(value.func)
+        if name in self.ACQUIRE_CONSTRUCTORS:
+            return name
+        if isinstance(value.func, ast.Attribute) and value.func.attr in self.ACQUIRE_METHODS:
+            return value.func.attr
+        return None
+
+    def _check_function(
+        self, func: ast.FunctionDef, module: ModuleInfo
+    ) -> list[Diagnostic]:
+        acquisitions: list[tuple[ast.stmt, str, str]] = []
+        for node in _shallow_walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            source = self._is_acquisition(value)
+            if source is not None:
+                acquisitions.append((node, target.id, source))
+        if not acquisitions:
+            return []
+        diagnostics: list[Diagnostic] = []
+        cfg = None
+        for stmt, var, source in acquisitions:
+            escapes, releases = self._classify_uses(func, var, stmt, module)
+            if escapes:
+                continue
+            if cfg is None:
+                cfg = build_cfg(func)
+            if leaks_to_exit(cfg, stmt, releases):
+                diagnostics.append(
+                    self.diagnostic(
+                        stmt,
+                        module.path,
+                        f"'{var}' (acquired via '{source}') can reach the end "
+                        f"of '{func.name}' without close()/unlink(); release "
+                        f"it in try/finally, manage it with 'with', or "
+                        f"register a weakref.finalize",
+                    )
+                )
+        return diagnostics
+
+    def _classify_uses(
+        self, func: ast.FunctionDef, var: str, acquire: ast.stmt, module: ModuleInfo
+    ) -> tuple[bool, list[ast.stmt]]:
+        """Scan every use of ``var``: (escapes anywhere?, release stmts)."""
+        parents = module.parents
+        releases: list[ast.stmt] = []
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Name)
+                and node.id == var
+                and isinstance(node.ctx, ast.Load)
+            ):
+                continue
+            verdict = self._classify_one(node, func, parents)
+            if verdict == "escape":
+                return True, []
+            if verdict == "release":
+                stmt = _enclosing_stmt(node, parents)
+                if stmt is not None:
+                    releases.append(stmt)
+        return False, releases
+
+    def _classify_one(
+        self, name: ast.Name, func: ast.FunctionDef, parents: dict[int, ast.AST]
+    ) -> str:
+        child: ast.AST = name
+        current = parents.get(id(name))
+        while current is not None:
+            if (
+                isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                and current is not func
+            ):
+                return "escape"  # closure capture outlives this frame
+            if isinstance(current, ast.Call):
+                if child is current.func:
+                    if (
+                        isinstance(current.func, ast.Attribute)
+                        and current.func.value is name
+                        and current.func.attr in self.RELEASE_METHODS
+                    ):
+                        return "release"
+                    return "benign"  # other method call on the resource
+                callee = _terminal_name(current.func)
+                if callee == "finalize":
+                    return "release"  # weakref.finalize(obj, release, x)
+                return "escape"  # ownership handed to another call
+            if isinstance(current, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return "escape"
+            if isinstance(current, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+                return "escape"  # stored in a container
+            if isinstance(current, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                return "escape"  # aliased or stored on an object
+            if isinstance(current, ast.withitem) and child is current.context_expr:
+                return "release"  # with x: — __exit__ closes
+            if isinstance(current, ast.stmt):
+                return "benign"
+            child = current
+            current = parents.get(id(current))
+        return "benign"
+
+
+# ----------------------------------------------------------------------
+# R008 — tracer/metric schema
+# ----------------------------------------------------------------------
+class TracerMetricSchemaRule(Rule):
+    id = "R008"
+    title = "tracer spans pair per function; metric names must be registered"
+    scope = ("core/", "storage/", "service/", "obs/bridge.py")
+
+    METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+    #: Receivers that are tenant-scoped MetricsView objects; emitted
+    #: names gain the ``tenant.<name>.`` prefix at runtime.
+    VIEW_RECEIVERS = frozenset({"view", "tenant_view"})
+
+    def check(self, module, context):
+        diagnostics: list[Diagnostic] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                diagnostics.extend(self._check_span_pairing(node, module))
+        registry: tuple[str, ...] | None = None
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.METRIC_METHODS
+                and node.args
+            ):
+                continue
+            name = self._resolve_metric_name(node, module)
+            if name is None:
+                continue
+            if registry is None:
+                registry = context.metric_registry(module)
+            if not registry:
+                continue  # no table anywhere: nothing to validate against
+            if not any(self._matches(name, pattern) for pattern in registry):
+                diagnostics.append(
+                    self.diagnostic(
+                        node,
+                        module.path,
+                        f"metric '{name}' is not in the obs bridge's "
+                        f"METRIC_REGISTRY; register it (repro/obs/bridge.py) "
+                        f"or dashboards will silently miss it",
+                    )
+                )
+        return diagnostics
+
+    # -- span pairing --------------------------------------------------
+    def _check_span_pairing(
+        self, func: ast.FunctionDef, module: ModuleInfo
+    ) -> list[Diagnostic]:
+        begins: dict[str, list[ast.Call]] = {}
+        ends: dict[str, list[ast.Call]] = {}
+        for node in _shallow_walk(func):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("begin", "end")
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            receiver = _terminal_name(node.func.value)
+            if receiver is None or not receiver.lower().endswith("tracer"):
+                continue
+            bucket = begins if node.func.attr == "begin" else ends
+            bucket.setdefault(node.args[0].value, []).append(node)
+        diagnostics: list[Diagnostic] = []
+        for name in sorted(set(begins) | set(ends)):
+            opened = len(begins.get(name, ()))
+            closed = len(ends.get(name, ()))
+            if opened > closed:
+                anchor = begins[name][closed]
+                diagnostics.append(
+                    self.diagnostic(
+                        anchor,
+                        module.path,
+                        f"tracer.begin({name!r}) has no matching "
+                        f"tracer.end({name!r}) in '{func.name}'; pair spans "
+                        f"within one function (try/finally) so they close on "
+                        f"every path",
+                    )
+                )
+            elif closed > opened:
+                anchor = ends[name][opened]
+                diagnostics.append(
+                    self.diagnostic(
+                        anchor,
+                        module.path,
+                        f"tracer.end({name!r}) has no matching "
+                        f"tracer.begin({name!r}) in '{func.name}'; spans must "
+                        f"open and close in the same function",
+                    )
+                )
+        return diagnostics
+
+    # -- metric names --------------------------------------------------
+    def _resolve_metric_name(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> str | None:
+        arg = call.args[0]
+        name: str | None = None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+        elif isinstance(arg, ast.JoinedStr):
+            parts: list[str] = []
+            for piece in arg.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append(str(piece.value))
+                elif isinstance(piece, ast.FormattedValue):
+                    resolved = self._resolve_placeholder(piece.value, call, module)
+                    parts.append(resolved if resolved is not None else "*")
+            name = "".join(parts)
+        if name is None:
+            return None
+        receiver = call.func.value
+        is_view = _terminal_name(receiver) in self.VIEW_RECEIVERS or (
+            isinstance(receiver, ast.Call)
+            and _terminal_name(receiver.func) == "view"
+        )
+        if is_view:
+            name = f"tenant.*.{name}"
+        return name
+
+    def _resolve_placeholder(
+        self, expr: ast.AST, call: ast.Call, module: ModuleInfo
+    ) -> str | None:
+        """A ``{prefix}`` placeholder resolves via the enclosing function's
+        string default (the obs-bridge ``prefix="io"`` idiom)."""
+        if not isinstance(expr, ast.Name):
+            return None
+        for ancestor in _ancestors(call, module.parents):
+            if not isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = ancestor.args
+            positional = args.posonlyargs + args.args
+            defaults = args.defaults
+            offset = len(positional) - len(defaults)
+            for index, param in enumerate(positional):
+                if param.arg != expr.id:
+                    continue
+                if index >= offset:
+                    default = defaults[index - offset]
+                    if isinstance(default, ast.Constant) and isinstance(
+                        default.value, str
+                    ):
+                        return default.value
+                return None
+            for param, default in zip(args.kwonlyargs, args.kw_defaults):
+                if param.arg == expr.id:
+                    if isinstance(default, ast.Constant) and isinstance(
+                        default.value, str
+                    ):
+                        return default.value
+                    return None
+            return None
+        return None
+
+    @staticmethod
+    def _matches(name: str, pattern: str) -> bool:
+        """Segment-wise match; ``*`` on either side matches one segment."""
+        got = name.split(".")
+        want = pattern.split(".")
+        if len(got) != len(want):
+            return False
+        return all(g == w or g == "*" or w == "*" for g, w in zip(got, want))
+
+
 #: Registry, in rule-id order.
 RULES: tuple[Rule, ...] = (
     PartPurityRule(),
@@ -627,6 +1212,9 @@ RULES: tuple[Rule, ...] = (
     TracerGuardRule(),
     DtypeDisciplineRule(),
     ErrorTaxonomyRule(),
+    LockDisciplineRule(),
+    ResourceLifecycleRule(),
+    TracerMetricSchemaRule(),
 )
 
 

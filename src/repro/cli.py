@@ -220,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the service metrics snapshot as JSON on exit",
     )
+    serve.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the runtime sanitizers: lock-order checking on the "
+        "service's locks plus the part-purity race detector in every "
+        "engine session",
+    )
 
     query = sub.add_parser(
         "query", help="send one query to a running 'repro serve --socket' service"
@@ -244,13 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = sub.add_parser(
-        "lint", help="run the invariant lint suite (rules R001-R005)"
+        "lint", help="run the invariant lint suite (rules R001-R008)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/directories (default: src)"
     )
     lint.add_argument(
         "--select", default=None, help="comma-separated rule ids to run"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--report-unused-ignores",
+        action="store_true",
+        help="also report suppression comments that silence nothing",
     )
     lint.add_argument("--list-rules", action="store_true")
     return parser
@@ -420,6 +438,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_quota=TenantQuota(max_concurrent=args.max_concurrent),
         tracer=tracer,
         metrics=MetricsRegistry() if wants_obs else None,
+        sanitize=args.sanitize,
     )
     try:
         if args.socket is not None:
@@ -490,6 +509,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv = list(args.paths)
     if args.select is not None:
         argv += ["--select", args.select]
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.report_unused_ignores:
+        argv.append("--report-unused-ignores")
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)

@@ -168,13 +168,17 @@ class KaleidoEngine:
         registry is created when not given; read it back from
         ``engine.metrics``.
     sanitize:
-        Run the application under the part-purity sanitizer
-        (:class:`repro.analysis.PartPuritySanitizer`): while the
-        executor is running per-part tasks, any attribute write on the
-        application raises :class:`~repro.errors.PartPurityError` — a
-        race detector for shared mapper state under concurrent
-        executors.  A well-behaved app produces byte-identical results
-        with or without it.
+        Run the application under the runtime sanitizers.  The
+        part-purity sanitizer
+        (:class:`repro.analysis.PartPuritySanitizer`) raises
+        :class:`~repro.errors.PartPurityError` on any application
+        attribute write while the executor is running per-part tasks —
+        a race detector for shared mapper state.  The lock-order
+        sanitizer (:class:`repro.analysis.LockOrderSanitizer`) wraps
+        the executor's and hasher's locks and raises
+        :class:`~repro.errors.LockOrderError` if any two are ever taken
+        in inconsistent orders.  A well-behaved app produces
+        byte-identical results with or without either.
     """
 
     def __init__(
@@ -265,6 +269,8 @@ class KaleidoEngine:
         self.sanitize = sanitize
         #: Active PartPuritySanitizer while a sanitized run is in flight.
         self._sanitizer = None
+        #: Active LockOrderSanitizer while a sanitized run is in flight.
+        self._lock_sanitizer = None
         #: Lazily built EdgeIndex, shared across this session's runs.
         self._edge_index: EdgeIndex | None = None
         #: How many runs this session has completed.
@@ -309,21 +315,30 @@ class KaleidoEngine:
         when it finishes.  Tracing never changes mined results.
         """
         if self.sanitize:
-            from ..analysis.sanitizer import PartPuritySanitizer
+            from ..analysis.sanitizer import LockOrderSanitizer, PartPuritySanitizer
 
             sanitizer = PartPuritySanitizer(app)
+            lock_sanitizer = LockOrderSanitizer()
+            # The engine's lock-bearing collaborators: the executor's
+            # pool bookkeeping and the hasher's cache statistics.
+            lock_sanitizer.instrument(self.executor)
+            lock_sanitizer.instrument(self.hasher)
         else:
             sanitizer = None
+            lock_sanitizer = None
         self._sanitizer = sanitizer
+        self._lock_sanitizer = lock_sanitizer
         guard_before = self.planner.max_embeddings
         if max_embeddings != -1:
             self.planner.max_embeddings = max_embeddings
         try:
-            with sanitizer if sanitizer is not None else nullcontext():
-                with self.tracer.span("run", app=app.name, graph=self.graph.name):
-                    result = self._run(app, resume)
+            with lock_sanitizer if lock_sanitizer is not None else nullcontext():
+                with sanitizer if sanitizer is not None else nullcontext():
+                    with self.tracer.span("run", app=app.name, graph=self.graph.name):
+                        result = self._run(app, resume)
         finally:
             self._sanitizer = None
+            self._lock_sanitizer = None
             self.planner.max_embeddings = guard_before
         self.runs_completed += 1
         absorb_engine(self.metrics, self)

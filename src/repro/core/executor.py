@@ -223,9 +223,9 @@ class ThreadedExecutor(PartExecutor):
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
-        self._pool: _futures.ThreadPoolExecutor | None = None
-        self._pool_size = 0
-        self._active_runs = 0
+        self._pool: _futures.ThreadPoolExecutor | None = None  # guarded-by: _pool_lock
+        self._pool_size = 0  # guarded-by: _pool_lock
+        self._active_runs = 0  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
 
     @property

@@ -193,15 +193,21 @@ class SharedKernelContext:
             else:
                 scalars.append((field.name, value))
         self._segment = shared_memory.SharedMemory(create=True, size=max(1, total))
-        for spec, array in zip(specs, arrays):
-            view = np.ndarray(
-                spec.shape,
-                dtype=np.dtype(spec.dtype),
-                buffer=self._segment.buf,
-                offset=spec.offset,
-            )
-            view[...] = array
-            del view
+        try:
+            for spec, array in zip(specs, arrays):
+                view = np.ndarray(
+                    spec.shape,
+                    dtype=np.dtype(spec.dtype),
+                    buffer=self._segment.buf,
+                    offset=spec.offset,
+                )
+                view[...] = array
+                del view
+        except BaseException:
+            # A failed fill means no handle ever escapes: unlink here or
+            # the segment outlives the process.
+            _release_segment(self._segment, unlink=True)
+            raise
         self.handle = SharedContextHandle(
             segment=self._segment.name,
             kind=ctx.kind,
@@ -436,15 +442,20 @@ def export_levels(cse) -> LevelShare | None:
         segment = shared_memory.SharedMemory(create=True, size=max(1, total))
     except OSError:
         return None
-    for spec, contiguous in to_fill:
-        view = np.ndarray(
-            spec.shape,
-            dtype=np.dtype(spec.dtype),
-            buffer=segment.buf,
-            offset=spec.offset,
-        )
-        view[...] = contiguous
-        del view
+    try:
+        for spec, contiguous in to_fill:
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=segment.buf,
+                offset=spec.offset,
+            )
+            view[...] = contiguous
+            del view
+    except BaseException:
+        # Nobody holds the segment yet; a failed fill must not leak it.
+        _release_segment(segment, unlink=True)
+        raise
 
     handle = SharedLevelsHandle(segment=segment.name, levels=tuple(specs))
     return LevelShare(segment, handle)

@@ -79,6 +79,18 @@ class PartPurityError(KaleidoError):
     """
 
 
+class LockOrderError(KaleidoError):
+    """Two locks were acquired in inconsistent orders across threads.
+
+    Raised by the lock-order sanitizer the moment a blocking acquisition
+    would close a cycle in the global lock-order graph — i.e. this
+    thread wants lock B while holding A, but some earlier acquisition
+    (on any thread) took A while holding B.  Catching the inversion at
+    the ordering level means the deadlock is reported deterministically,
+    without needing the two threads to actually interleave into one.
+    """
+
+
 class UnknownDatasetError(KaleidoError):
     """A dataset name was not found in the registry."""
 

@@ -25,11 +25,75 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..storage.meter import IOStats, MemoryMeter
 
 __all__ = [
+    "METRIC_REGISTRY",
     "absorb_io_stats",
     "absorb_memory_meter",
     "absorb_hasher",
     "absorb_engine",
 ]
+
+#: Every metric name the project may emit, as dotted patterns (``*``
+#: matches one segment: per-component memory gauges, per-tenant views).
+#: This is the schema dashboards are built against; analysis rule R008
+#: checks each ``.counter/.gauge/.histogram`` emission in the code
+#: against this table, so adding a metric means adding a row here (and
+#: to the docs/api.md table) — a typo'd name fails the lint instead of
+#: silently never reaching a dashboard.
+METRIC_REGISTRY: tuple[str, ...] = (
+    # io — spill/checkpoint byte counters and latency histograms
+    "io.bytes_read",
+    "io.bytes_written",
+    "io.deletes",
+    "io.failed_deletes",
+    "io.retries",
+    "io.read_seconds",
+    "io.write_seconds",
+    # queue — background writer instrumentation (live, at the source)
+    "queue.depth",
+    "queue.parts_written",
+    # mem — MemoryMeter projections (total plus per-component)
+    "mem.bytes",
+    "mem.*.bytes",
+    # hasher — PatternHasher cache statistics
+    "hasher.hits",
+    "hasher.misses",
+    "hasher.evictions",
+    "hasher.cache_entries",
+    # storage — spill/demotion policy outcomes
+    "storage.spilled_levels",
+    "storage.demoted_levels",
+    "storage.degradations",
+    "storage.io_plan.part_entries",
+    "storage.io_plan.prefetch_depth",
+    # checkpoint — recovery bookkeeping
+    "checkpoint.written",
+    "checkpoint.failures",
+    # service — query-tier totals
+    "service.requests",
+    "service.completed",
+    "service.failed",
+    "service.latency_seconds",
+    "service.route.green",
+    "service.route.yellow",
+    "service.route.red",
+    "service.route.degraded",
+    "service.route.rejected",
+    "service.cache.hits",
+    "service.cache.misses",
+    "service.cache.evictions",
+    "service.cache.entries",
+    "service.sessions.created",
+    "service.sessions.reused",
+    "service.sessions.live",
+    # tenant.<name>.* — per-tenant MetricsView projections
+    "tenant.*.admitted",
+    "tenant.*.rejected",
+    "tenant.*.inflight",
+    "tenant.*.completed",
+    "tenant.*.failed",
+    "tenant.*.route.*",
+    "tenant.*.latency_seconds",
+)
 
 
 def absorb_io_stats(

@@ -49,7 +49,7 @@ class ResultCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._lock = threading.Lock()
-        self._entries: dict[CacheKey, CachedAnswer] = {}
+        self._entries: dict[CacheKey, CachedAnswer] = {}  # guarded-by: _lock
         metrics = metrics if metrics is not None else MetricsRegistry()
         self._hits = metrics.counter("service.cache.hits")
         self._misses = metrics.counter("service.cache.misses")

@@ -75,6 +75,15 @@ class MiningService:
         (``service.*``, ``tenant.*``) land in this registry.  Each
         engine session keeps its *own* registry so engine-internal
         counters never double-count across tenants.
+    sanitize:
+        Run under the runtime sanitizers: the service's lock-bearing
+        components (session pool, result cache, tenant registry, shared
+        executor, hasher) are wrapped by a
+        :class:`repro.analysis.LockOrderSanitizer` that raises
+        :class:`~repro.errors.LockOrderError` on lock-order inversions,
+        and every session's engine runs with ``sanitize=True`` (the
+        part-purity race detector).  Results are unchanged for
+        well-behaved code.
     """
 
     def __init__(
@@ -87,12 +96,14 @@ class MiningService:
         engine_kwargs: dict[str, Any] | None = None,
         tracer: "Tracer | NullTracer | None" = None,
         metrics: MetricsRegistry | None = None,
+        sanitize: bool = False,
     ) -> None:
         if pool_workers < 1:
             raise ValueError("pool_workers must be positive")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pool_workers = pool_workers
+        self.sanitize = sanitize
         self._engine_kwargs = dict(engine_kwargs or {})
         self.executor = ThreadedExecutor(max_workers=pool_workers)
         self.hasher = PatternHasher()
@@ -102,8 +113,25 @@ class MiningService:
         self.sessions = SessionPool(
             self._build_engine, max_sessions_per_graph, metrics=self.metrics
         )
-        self._graphs: dict[tuple[str, str], Graph] = {}
+        self._graphs: dict[tuple[str, str], Graph] = {}  # guarded-by: _graphs_lock
         self._graphs_lock = threading.Lock()
+        #: Active lock-order sanitizer for the service's whole lifetime
+        #: (unlike the engine's per-run scope): service locks interleave
+        #: across requests, so ordering evidence must accumulate.
+        self.lock_sanitizer = None
+        if sanitize:
+            from ..analysis.sanitizer import LockOrderSanitizer
+
+            self.lock_sanitizer = LockOrderSanitizer()
+            for holder in (
+                self,
+                self.executor,
+                self.hasher,
+                self.cache,
+                self.tenants,
+                self.sessions,
+            ):
+                self.lock_sanitizer.instrument(holder)
         self._ids = itertools.count(1)
         self._dispatch = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="mining-service"
@@ -123,6 +151,7 @@ class MiningService:
             "executor": self.executor,  # caller-owned: engine won't close it
             "hasher": self.hasher,
             "metrics": MetricsRegistry(),
+            "sanitize": self.sanitize,
         }
         kwargs.update(self._engine_kwargs)
         return KaleidoEngine(graph, **kwargs)
@@ -370,6 +399,9 @@ class MiningService:
         self._dispatch.shutdown(wait=True)
         self.sessions.close()
         self.executor.close()
+        if self.lock_sanitizer is not None:
+            self.lock_sanitizer.restore()
+            self.lock_sanitizer = None
 
     def __enter__(self) -> "MiningService":
         return self

@@ -82,14 +82,14 @@ class SessionPool:
         self._engine_factory = engine_factory
         self.max_sessions_per_graph = max_sessions_per_graph
         self._cond = threading.Condition()
-        self._sessions: dict[str, list[EngineSession]] = {}
+        self._sessions: dict[str, list[EngineSession]] = {}  # guarded-by: _cond
         #: In-flight engine builds per fingerprint; a reservation counts
         #: against the per-graph cap so concurrent cold acquires cannot
         #: overshoot it while the factory runs unlocked.
-        self._building: dict[str, int] = {}
+        self._building: dict[str, int] = {}  # guarded-by: _cond
         #: Sessions forgotten while busy; closed by :meth:`_release`.
-        self._doomed: set[EngineSession] = set()
-        self._closed = False
+        self._doomed: set[EngineSession] = set()  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
         metrics = metrics if metrics is not None else MetricsRegistry()
         self._created = metrics.counter("service.sessions.created")
         self._reused = metrics.counter("service.sessions.reused")

@@ -52,8 +52,8 @@ class TenantRegistry:
         self.default_quota = default_quota if default_quota is not None else TenantQuota()
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._quotas: dict[str, TenantQuota] = {}
-        self._inflight: dict[str, int] = {}
+        self._quotas: dict[str, TenantQuota] = {}  # guarded-by: _lock
+        self._inflight: dict[str, int] = {}  # guarded-by: _lock
 
     def set_quota(self, tenant: str, quota: TenantQuota) -> None:
         with self._lock:

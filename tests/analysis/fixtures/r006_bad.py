@@ -1,0 +1,34 @@
+"""R006 fixture: guarded-field mutations outside their lock (4 hits)."""
+
+import threading
+
+
+class LeakyCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _mutex  <- hit 1: names no lock attribute
+        self._size = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._absorb(key)
+
+    def evict(self, key):
+        self._entries.pop(key, None)  # hit 2: mutator call, lock not held
+
+    def replace(self, mapping):
+        self._entries = dict(mapping)  # hit 3: rebind, lock not held
+
+    def tick(self):
+        with self._lock:
+            self._size += 1  # locked here -> '_size' inferred guarded
+
+    def reset(self):
+        self._size = 0  # hit 4: inferred-guarded field, lock not held
+
+    def _absorb(self, key):
+        # silent: every in-class call site holds self._lock, so this
+        # method is lock-context and its mutation is effectively locked.
+        self._entries[key] = self._entries.get(key)

@@ -1,0 +1,44 @@
+"""R006 fixture: the legal shapes — guarded fields stay under their lock."""
+
+import threading
+
+
+class DisciplinedCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._entries = {}  # guarded-by: _lock
+        self._waiters = 0  # guarded-by: _cond
+        self._stats = {}  # unguarded: never mutated under a lock
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._absorb(key)
+
+    def wait_for_entry(self, key):
+        with self._cond:
+            self._waiters += 1
+            try:
+                return self._entries.get(key)
+            finally:
+                self._waiters -= 1
+
+    def observe(self, name):
+        # '_stats' has no annotation and no locked mutation site, so
+        # inference leaves it unguarded — coordinator-serial state.
+        self._stats[name] = self._stats.get(name, 0) + 1
+
+    def _absorb(self, key):
+        # lock-context helper: only called from under 'with self._lock:'.
+        self._entries[key] = self._entries.get(key)
+
+
+class Lockless:
+    """No lock attributes at all — R006 has nothing to say."""
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.count += 1

@@ -1,0 +1,29 @@
+"""R007 fixture: acquired resources that can leak to function exit (3 hits)."""
+
+from multiprocessing.shared_memory import SharedMemory
+from tempfile import NamedTemporaryFile
+
+
+def early_return_leak(payload):
+    handle = NamedTemporaryFile()  # hit 1: leaks on the early return
+    handle.write(payload)
+    if not payload:
+        return None
+    handle.close()
+    return True
+
+
+def handler_leak(storage):
+    view = storage.open_mmap("part-0")  # hit 2: leaks through the handler
+    try:
+        data = view.read()
+    except ValueError:
+        return None
+    view.close()
+    return data
+
+
+def forgotten(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # hit 3: never released
+    shm.buf.release()
+    return nbytes

@@ -1,0 +1,41 @@
+"""R007 fixture: the legal release shapes — with, try/finally, transfer."""
+
+import weakref
+from multiprocessing.shared_memory import SharedMemory
+from tempfile import NamedTemporaryFile
+
+
+def context_managed(payload):
+    with NamedTemporaryFile() as handle:
+        handle.write(payload)
+        return handle.name
+
+
+def try_finally(storage):
+    view = storage.open_mmap("part-0")
+    try:
+        return view.read()
+    finally:
+        view.close()
+
+
+def released_on_both_paths(storage, fast):
+    view = storage.open_mmap("part-1")
+    if fast:
+        data = view.read()
+        view.close()
+        return data
+    view.close()
+    return None
+
+
+def ownership_transferred(nbytes):
+    # returning the handle hands ownership to the caller — not a leak here.
+    shm = SharedMemory(create=True, size=nbytes)
+    return shm
+
+
+def finalizer_registered(owner, nbytes):
+    shm = SharedMemory(create=True, size=nbytes)
+    weakref.finalize(owner, shm.close)
+    return nbytes

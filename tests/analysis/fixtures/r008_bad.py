@@ -1,0 +1,32 @@
+"""R008 fixture: unbalanced spans and unregistered metric names (4 hits)."""
+
+#: Module-local registry stands in for repro/obs/bridge.py's table.
+METRIC_REGISTRY = (
+    "io.bytes_read",
+    "queue.depth",
+    "tenant.*.admitted",
+)
+
+
+class Pipeline:
+    def __init__(self, tracer, metrics):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def load(self, chunks):
+        self.tracer.begin("load", chunks=len(chunks))  # hit 1: never ended
+        for chunk in chunks:
+            self.metrics.counter("io.bytes_read", len(chunk))
+        return chunks
+
+    def flush(self):
+        # hit 2: closes a span this function never opened
+        self.tracer.end("flush")
+
+    def record(self, nbytes):
+        # hit 3: name missing from METRIC_REGISTRY
+        self.metrics.counter("io.bytes_discarded", nbytes)
+
+    def admit(self, view):
+        # hit 4: expands to tenant.*.backlog — not registered
+        view.gauge("backlog", 1)

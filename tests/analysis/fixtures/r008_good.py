@@ -1,0 +1,37 @@
+"""R008 fixture: balanced spans and registry-backed metric names."""
+
+METRIC_REGISTRY = (
+    "io.bytes_read",
+    "io.write_seconds",
+    "queue.depth",
+    "tenant.*.admitted",
+)
+
+
+class Pipeline:
+    def __init__(self, tracer, metrics):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def load(self, chunks):
+        self.tracer.begin("load", chunks=len(chunks))
+        try:
+            for chunk in chunks:
+                self.metrics.counter("io.bytes_read", len(chunk))
+            return chunks
+        finally:
+            self.tracer.end("load")
+
+    def timed_write(self, seconds, prefix="io"):
+        # f-string placeholder resolves through the parameter default.
+        self.metrics.histogram(f"{prefix}.write_seconds", seconds)
+
+    def report_depth(self, depth):
+        self.metrics.gauge("queue.depth", depth)
+
+    def admit(self, view):
+        view.counter("admitted", 1)
+
+    def dynamic(self, name, value):
+        # non-literal names are runtime-shaped; the rule stays quiet.
+        self.metrics.counter(name, value)

@@ -50,3 +50,71 @@ def test_repro_lint_subcommand(capsys):
 def test_repro_lint_list_rules(capsys):
     assert repro_main(["lint", "--list-rules"]) == 0
     assert "R003" in capsys.readouterr().out
+
+
+def test_module_cli_json_format(capsys):
+    import json
+
+    bad = str(FIXTURES / "r006_bad.py")
+    assert analysis_main([bad, "--select", "R006", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"R006": 4}
+    assert len(payload["diagnostics"]) == 4
+    first = payload["diagnostics"][0]
+    assert first["rule"] == "R006"
+    assert first["path"].endswith("r006_bad.py")
+    assert first["line"] > 0
+    assert payload["unused_ignores"] == []
+
+
+def test_module_cli_json_clean_tree(capsys):
+    import json
+
+    assert analysis_main([SRC, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["diagnostics"] == []
+    assert payload["counts"] == {}
+
+
+def test_module_cli_github_format(capsys):
+    bad = str(FIXTURES / "r007_bad.py")
+    assert analysis_main([bad, "--select", "R007", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert len(lines) == 3
+    for line in lines:
+        assert line.startswith("::error file=")
+        assert "title=R007" in line
+
+
+def test_module_cli_reports_unused_ignores(tmp_path, capsys):
+    target = tmp_path / "module.py"
+    target.write_text("x = 1  # repro: ignore[R002]\n")
+    assert analysis_main([str(target), "--report-unused-ignores"]) == 1
+    out = capsys.readouterr().out
+    assert "W100" in out
+    assert "unused suppression" in out
+    # Without the flag the stale comment passes silently.
+    capsys.readouterr()
+    assert analysis_main([str(target)]) == 0
+
+
+def test_module_cli_used_ignore_not_reported(tmp_path, capsys):
+    target = tmp_path / "module.py"
+    target.write_text(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # repro: ignore[R002]\n"
+    )
+    assert analysis_main([str(target), "--select", "R002", "--report-unused-ignores"]) == 0
+    assert "W100" not in capsys.readouterr().out
+
+
+def test_repro_lint_format_and_unused_flags(capsys):
+    import json
+
+    bad = str(FIXTURES / "r008_bad.py")
+    assert repro_main(["lint", bad, "--select", "R008", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"R008": 4}
+    assert repro_main(["lint", SRC, "--report-unused-ignores"]) == 0

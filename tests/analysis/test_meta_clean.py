@@ -7,7 +7,7 @@ code) or the new code is a justified exception (add a
 
 from pathlib import Path
 
-from repro.analysis import lint_paths
+from repro.analysis import lint_paths, lint_paths_report
 
 SRC = Path(__file__).parents[2] / "src" / "repro"
 
@@ -15,6 +15,13 @@ SRC = Path(__file__).parents[2] / "src" / "repro"
 def test_src_tree_is_violation_free():
     diagnostics = lint_paths([SRC])
     assert diagnostics == [], "\n".join(diag.format() for diag in diagnostics)
+
+
+def test_src_tree_has_no_unused_ignores():
+    # Every '# repro: ignore[...]' in the tree must still be earning
+    # its keep — stale suppressions hide future regressions.
+    report = lint_paths_report([SRC], report_unused_ignores=True)
+    assert report.all() == [], "\n".join(diag.format() for diag in report.all())
 
 
 def test_src_tree_has_expected_shape():

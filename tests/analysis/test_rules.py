@@ -15,6 +15,9 @@ EXPECTED_BAD_HITS = {
     "R003": 4,
     "R004": 2,
     "R005": 3,
+    "R006": 4,
+    "R007": 3,
+    "R008": 4,
 }
 
 
@@ -59,7 +62,16 @@ def test_rule_silent_on_service_good_fixture(rule):
 
 
 def test_registry_lists_all_rules():
-    assert rule_ids() == ("R001", "R002", "R003", "R004", "R005")
+    assert rule_ids() == (
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+    )
 
 
 def test_trailing_suppression_silences_own_line():
@@ -129,3 +141,52 @@ def test_r002_scope_covers_service():
     obs = lint_source(source, path="src/repro/obs/thing.py")
     assert [diag.rule for diag in service] == ["R002"]
     assert obs == []
+
+
+def test_select_bypasses_module_scoping():
+    # An explicit --select means "run this rule HERE": R005 is scoped
+    # to storage/ and service/, but selecting it on a core-path module
+    # still applies it.
+    source = "try:\n    pass\nexcept Exception:\n    pass\n"
+    out_of_scope = "src/repro/core/thing.py"
+    assert lint_source(source, path=out_of_scope) == []  # scoping holds
+    selected = lint_source(source, path=out_of_scope, select=["R005"])
+    assert [diag.rule for diag in selected] == ["R005"]
+
+
+def test_r006_annotation_does_not_bleed_to_next_line():
+    # A trailing '# guarded-by:' comment annotates its own assignment,
+    # not the assignment on the following line.
+    source = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._a = 0  # guarded-by: _lock\n"
+        "        self._b = 0\n"
+        "    def bump_b(self):\n"
+        "        self._b += 1\n"
+    )
+    assert lint_source(source, select=["R006"]) == []
+
+
+def test_r006_transitive_lock_context():
+    # A helper whose every in-class call site holds the lock may mutate
+    # guarded state; an externally callable helper may not.
+    source = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []  # guarded-by: _lock\n"
+        "    def add(self, x):\n"
+        "        with self._lock:\n"
+        "            self._push(x)\n"
+        "    def _push(self, x):\n"
+        "        self._items.append(x)\n"
+        "    def unsafe_push(self, x):\n"
+        "        self._items.append(x)\n"
+    )
+    diagnostics = lint_source(source, select=["R006"])
+    assert len(diagnostics) == 1
+    assert "unsafe_push" in diagnostics[0].message
